@@ -1,0 +1,80 @@
+// Reproduces §6.4 "Distributed FD" (Figure 4): end-to-end recovery time —
+// from the moment the compute node dies to the stray-lock notification —
+// with the standalone failure detector vs a 3-replica quorum FD (paper:
+// still under 20 ms with three ZooKeeper-managed replicas, orders of
+// magnitude faster than the Baseline's scan).
+//
+// Measured under light load (one worker thread) so the heartbeat pumps run
+// at the paper's 5 ms timeout without scheduler-induced false positives.
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "workloads/micro.h"
+
+namespace pandora {
+namespace bench {
+namespace {
+
+double MeasureEndToEndMs(uint32_t fd_replicas,
+                         uint64_t quorum_latency_us) {
+  workloads::MicroConfig micro_config;
+  micro_config.num_keys = 10'000;
+  workloads::MicroWorkload workload(micro_config);
+
+  recovery::RecoveryManagerConfig rm;
+  rm.mode = txn::ProtocolMode::kPandora;
+  rm.fd = PaperFd();  // The paper's 5 ms detection timeout.
+  rm.fd.heartbeat_period_us = 500;
+  rm.fd.replicas = fd_replicas;
+  rm.fd.quorum_latency_us = quorum_latency_us;
+  Testbed testbed(PaperTestbed(), rm, &workload);
+  cluster::Cluster& cluster = testbed.cluster();
+  const rdma::NodeId victim = cluster.compute_node_id(1);
+
+  // Light background work on the victim so recovery has in-flight
+  // transactions to clean up.
+  workloads::DriverConfig driver_config;
+  driver_config.threads = 1;
+  driver_config.coordinators = 4;
+  driver_config.duration_ms = Scaled(800);
+  driver_config.pace_us = 2000;
+  auto driver = testbed.MakeDriver(driver_config);
+  std::thread run_thread([&driver] { driver->Run(); });
+
+  // Let the run settle, then crash the victim and time crash -> recovery
+  // completion (detection + link termination + log recovery +
+  // notification).
+  SleepForMicros(Scaled(800) * 1000 / 3);
+  const uint64_t before = testbed.manager().recovery_count(victim);
+  const uint64_t crash_ns = NowNanos();
+  cluster.CrashComputeNode(victim);
+  PANDORA_CHECK(testbed.manager().WaitForComputeRecovery(victim, 5'000'000,
+                                                         before));
+  const uint64_t recovered_ns = NowNanos();
+  run_thread.join();
+  return static_cast<double>(recovered_ns - crash_ns) / 1e6;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  using namespace pandora::bench;
+
+  PrintHeader("End-to-end recovery time: standalone vs distributed FD",
+              "§6.4 \"Distributed FD\" (Figure 4): quorum detection adds "
+              "a few ms; recovery stays well under the Baseline's "
+              "multi-second scan");
+
+  const double standalone = MeasureEndToEndMs(1, 0);
+  PrintRow("standalone FD (crash -> notification)", standalone, "ms");
+  const double distributed = MeasureEndToEndMs(3, 2000);
+  PrintRow("3-replica quorum FD (crash -> notification)", distributed,
+           "ms");
+  PrintRow("paper's bound for the distributed FD", 20.0, "ms (<)");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#ifndef PANDORA_BENCH_BENCH_FAILOVER_OLTP_H_
+#define PANDORA_BENCH_BENCH_FAILOVER_OLTP_H_
+
+// Shared harness for the per-workload fail-over figures (Figures 9-11) and
+// the low-contention variant (Figure 12): run the OLTP workload, crash one
+// compute node mid-run (blue line), and in a second run crash one memory
+// node (yellow line). Pandora keeps serving through the compute fault; the
+// memory fault stops the KVS briefly for reconfiguration and recovers.
+
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace pandora {
+namespace bench {
+
+using WorkloadFactory = std::function<std::unique_ptr<workloads::Workload>()>;
+
+/// Runs the three scenarios (steady / compute fault / memory fault) and
+/// prints the paper-style series. `coordinators` models contention
+/// (Figure 12 halves it).
+inline void RunOltpFailover(const WorkloadFactory& factory,
+                            uint32_t coordinators, uint64_t pace_us) {
+  const uint64_t duration_ms = Scaled(2400);
+  const uint64_t bucket_ms = duration_ms / 12;
+
+  auto run = [&](bool compute_fault, bool memory_fault) {
+    auto workload = factory();
+    recovery::RecoveryManagerConfig rm;
+    rm.mode = txn::ProtocolMode::kPandora;
+    rm.fd = BenchFd();
+    rm.memory_reconfig_us = 50'000;
+    Testbed testbed(PaperTestbed(), rm, workload.get());
+
+    workloads::DriverConfig driver_config;
+    driver_config.threads = 2;
+    driver_config.coordinators = coordinators;
+    driver_config.duration_ms = duration_ms;
+    driver_config.bucket_ms = bucket_ms;
+    driver_config.pace_us = pace_us;
+    auto driver = testbed.MakeDriver(driver_config);
+    if (compute_fault) {
+      driver->AddFault(
+          {workloads::FaultEvent::Kind::kComputeCrash, duration_ms / 3, 1});
+      driver->AddFault({workloads::FaultEvent::Kind::kComputeRestart,
+                        duration_ms / 3 + bucket_ms, 1});
+    }
+    if (memory_fault) {
+      driver->AddFault(
+          {workloads::FaultEvent::Kind::kMemoryCrash, duration_ms / 3, 0});
+    }
+    return driver->Run();
+  };
+
+  const workloads::DriverResult steady = run(false, false);
+  const workloads::DriverResult compute_fault = run(true, false);
+  const workloads::DriverResult memory_fault = run(false, true);
+
+  PrintTimeline("no failure", steady.timeline_mtps, bucket_ms);
+  PrintTimeline("compute fault (+restart)", compute_fault.timeline_mtps,
+                bucket_ms);
+  PrintTimeline("memory fault", memory_fault.timeline_mtps, bucket_ms);
+  PrintRow("steady-state average", steady.mtps, "MTps");
+  PrintRow("compute-fault average", compute_fault.mtps, "MTps");
+  PrintRow("memory-fault average", memory_fault.mtps, "MTps");
+}
+
+}  // namespace bench
+}  // namespace pandora
+
+#endif  // PANDORA_BENCH_BENCH_FAILOVER_OLTP_H_

@@ -1,0 +1,30 @@
+// Reproduces Figure 9 (SmallBank fail-over throughput under compute and
+// memory faults) and Figure 12 (the low-contention variant with half the
+// coordinators, where post-failure throughput returns to pre-failure
+// levels once the freed resources are reused).
+
+#include "bench/bench_failover_oltp.h"
+#include "workloads/smallbank.h"
+
+int main() {
+  using namespace pandora;
+  using namespace pandora::bench;
+
+  const WorkloadFactory factory = [] {
+    workloads::SmallBankConfig config;
+    config.num_accounts = 10'000;
+    config.hot_accounts = 1000;
+    return std::make_unique<workloads::SmallBankWorkload>(config);
+  };
+
+  PrintHeader("SmallBank fail-over throughput",
+              "Figure 9: average fail-over throughput under memory and "
+              "compute faults (128 coordinators)");
+  RunOltpFailover(factory, /*coordinators=*/128, /*pace_us=*/4000);
+
+  PrintHeader("SmallBank fail-over throughput, low contention",
+              "Figure 12: half the coordinators — post-failure throughput "
+              "is restored to pre-failure levels");
+  RunOltpFailover(factory, /*coordinators=*/64, /*pace_us=*/4000);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Figure 10: TATP fail-over throughput under compute and
+// memory faults.
+
+#include "bench/bench_failover_oltp.h"
+#include "workloads/tatp.h"
+
+int main() {
+  using namespace pandora;
+  using namespace pandora::bench;
+
+  PrintHeader("TATP fail-over throughput",
+              "Figure 10: average fail-over throughput under memory and "
+              "compute faults (128 coordinators, 80% read mix)");
+  RunOltpFailover(
+      [] {
+        workloads::TatpConfig config;
+        config.subscribers = 10'000;
+        return std::make_unique<workloads::TatpWorkload>(config);
+      },
+      /*coordinators=*/128, /*pace_us=*/4000);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Figure 11: TPC-C fail-over throughput under compute and
+// memory faults.
+
+#include "bench/bench_failover_oltp.h"
+#include "workloads/tpcc.h"
+
+int main() {
+  using namespace pandora;
+  using namespace pandora::bench;
+
+  PrintHeader("TPC-C fail-over throughput",
+              "Figure 11: average fail-over throughput under memory and "
+              "compute faults (128 coordinators, 95% write mix)");
+  RunOltpFailover(
+      [] {
+        workloads::TpccConfig config;
+        config.warehouses = 2;
+        config.districts_per_warehouse = 10;
+        config.customers_per_district = 100;
+        config.items = 500;
+        config.max_orders_per_district = 16384;
+        return std::make_unique<workloads::TpccWorkload>(config);
+      },
+      // TPC-C transactions are ~10x heavier; pace them so the run is
+      // latency-bound (throughput tracks alive coordinators) rather than
+      // saturating the two simulation cores.
+      /*coordinators=*/128, /*pace_us=*/160'000);
+  return 0;
+}

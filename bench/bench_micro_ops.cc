@@ -1,0 +1,137 @@
+// Micro-operation costs of the simulated substrate and the protocol
+// building blocks (google-benchmark). Supporting data for interpreting the
+// macro benches: verb costs, lock/unlock cycles, log-record framing, ring
+// lookups and the PILL failed-ids check.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/placement.h"
+#include "common/checksum.h"
+#include "common/fixed_bitset.h"
+#include "rdma/fabric.h"
+#include "store/log_layout.h"
+#include "store/object_header.h"
+
+namespace pandora {
+namespace {
+
+// Zero-latency fabric: measures the simulator's per-verb bookkeeping cost.
+struct VerbFixture {
+  VerbFixture()
+      : fabric(rdma::NetworkConfig{.one_way_ns = 0, .per_byte_ns = 0}) {
+    pd = fabric.AttachMemoryNode(0);
+    rkey = pd->RegisterRegion(1 << 20, "bench");
+    qp = fabric.CreateQueuePair(1, 0);
+  }
+  rdma::Fabric fabric;
+  rdma::ProtectionDomain* pd;
+  rdma::RKey rkey;
+  std::unique_ptr<rdma::QueuePair> qp;
+};
+
+void BM_VerbRead64(benchmark::State& state) {
+  VerbFixture fixture;
+  alignas(8) uint64_t value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.qp->Read(fixture.rkey, 0, &value, 8));
+  }
+}
+BENCHMARK(BM_VerbRead64);
+
+void BM_VerbWrite1K(benchmark::State& state) {
+  VerbFixture fixture;
+  alignas(8) char buf[1024] = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.qp->Write(fixture.rkey, 0, buf, sizeof(buf)));
+  }
+}
+BENCHMARK(BM_VerbWrite1K);
+
+void BM_LockUnlockCycle(benchmark::State& state) {
+  VerbFixture fixture;
+  const store::LockWord mine = store::MakeLock(7);
+  const uint64_t zero = 0;
+  for (auto _ : state) {
+    uint64_t observed = 0;
+    benchmark::DoNotOptimize(
+        fixture.qp->CompareSwap(fixture.rkey, 0, 0, mine, &observed));
+    benchmark::DoNotOptimize(
+        fixture.qp->Write(fixture.rkey, 0, &zero, 8));
+  }
+}
+BENCHMARK(BM_LockUnlockCycle);
+
+void BM_FailedIdCheck(benchmark::State& state) {
+  FailedIdBitset bits;
+  bits.Set(123);
+  uint16_t owner = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.Test(owner++));
+  }
+}
+BENCHMARK(BM_FailedIdCheck);
+
+void BM_LogRecordSerialize(benchmark::State& state) {
+  store::LogRecord record;
+  record.txn_id = 42;
+  record.coord_id = 7;
+  for (int i = 0; i < state.range(0); ++i) {
+    store::LogEntry entry;
+    entry.table = 1;
+    entry.key = static_cast<store::Key>(i);
+    entry.old_version = store::MakeVersion(3, false);
+    entry.old_value.assign(40, 'v');
+    record.entries.push_back(entry);
+  }
+  std::vector<char> buf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store::SerializeLogRecord(record, 8192, &buf));
+  }
+}
+BENCHMARK(BM_LogRecordSerialize)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_LogRecordParse(benchmark::State& state) {
+  store::LogRecord record;
+  record.txn_id = 42;
+  record.coord_id = 7;
+  for (int i = 0; i < 8; ++i) {
+    store::LogEntry entry;
+    entry.key = static_cast<store::Key>(i);
+    entry.old_value.assign(40, 'v');
+    record.entries.push_back(entry);
+  }
+  std::vector<char> buf;
+  store::SerializeLogRecord(record, 8192, &buf);
+  std::vector<char> slot(8192, 0);
+  std::memcpy(slot.data(), buf.data(), buf.size());
+  store::LogRecord parsed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store::ParseLogRecord(slot.data(), 8192, &parsed));
+  }
+}
+BENCHMARK(BM_LogRecordParse);
+
+void BM_RingLookup(benchmark::State& state) {
+  cluster::HashRing ring({0, 1, 2, 3, 4}, 3);
+  store::Key key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.ReplicasFor(1, key++));
+  }
+}
+BENCHMARK(BM_RingLookup);
+
+void BM_KeyHash(benchmark::State& state) {
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashKey(key++));
+  }
+}
+BENCHMARK(BM_KeyHash);
+
+}  // namespace
+}  // namespace pandora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Reproduces §6.2.1: the steady-state cost of the traditional lock-
+// logging scheme (one extra lock-intent round trip per lock before the
+// lock CAS). The paper reports overheads vs the FORD baseline of 35%
+// (SmallBank), 14% (TPC-C), 2% (TATP) and 21% (100%-write micro) — the
+// shape to reproduce: write-heavy workloads hurt most, read-mostly TATP
+// barely notices, and Pandora (PILL) costs nothing.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "workloads/micro.h"
+#include "workloads/smallbank.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+
+namespace pandora {
+namespace bench {
+namespace {
+
+std::unique_ptr<workloads::Workload> MakeWorkload(const std::string& name) {
+  if (name == "SmallBank") {
+    workloads::SmallBankConfig config;
+    config.num_accounts = 10'000;
+    config.hot_accounts = 1000;
+    return std::make_unique<workloads::SmallBankWorkload>(config);
+  }
+  if (name == "TPC-C") {
+    workloads::TpccConfig config;
+    config.warehouses = 2;
+    config.districts_per_warehouse = 10;
+    config.customers_per_district = 100;
+    config.items = 500;
+    config.max_orders_per_district = 16384;
+    return std::make_unique<workloads::TpccWorkload>(config);
+  }
+  if (name == "TATP") {
+    workloads::TatpConfig config;
+    config.subscribers = 10'000;
+    return std::make_unique<workloads::TatpWorkload>(config);
+  }
+  workloads::MicroConfig config;
+  config.num_keys = 20'000;
+  config.write_percent = 100;
+  return std::make_unique<workloads::MicroWorkload>(config);
+}
+
+double RunMode(const std::string& workload_name, txn::ProtocolMode mode) {
+  auto workload = MakeWorkload(workload_name);
+  recovery::RecoveryManagerConfig rm;
+  rm.mode = mode;
+  rm.fd = BenchFd();
+  Testbed testbed(PaperTestbed(), rm, workload.get());
+
+  workloads::DriverConfig driver_config;
+  driver_config.threads = 2;
+  driver_config.coordinators = 128;
+  driver_config.duration_ms = Scaled(3000);
+  driver_config.txn.mode = mode;
+  auto driver = testbed.MakeDriver(driver_config);
+  return driver->Run().mtps;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  using namespace pandora::bench;
+
+  PrintHeader("Traditional lock-logging steady-state overhead",
+              "§6.2.1: extra pre-lock logging round trip per lock; "
+              "overhead grows with the write ratio (paper: SmallBank 35%, "
+              "TPC-C 14%, TATP 2%, micro-100%w 21%)");
+
+  std::printf("%-14s %12s %12s %12s %10s\n", "workload", "baseline",
+              "traditional", "pandora", "overhead");
+  for (const char* name : {"SmallBank", "TPC-C", "TATP", "MicroBench"}) {
+    const double baseline =
+        RunMode(name, txn::ProtocolMode::kFordBaseline);
+    const double traditional =
+        RunMode(name, txn::ProtocolMode::kTraditionalLogging);
+    const double pandora = RunMode(name, txn::ProtocolMode::kPandora);
+    const double overhead =
+        baseline > 0 ? (baseline - traditional) / baseline * 100.0 : 0.0;
+    std::printf("%-14s %9.3f MT %9.3f MT %9.3f MT %8.1f%%\n", name,
+                baseline, traditional, pandora, overhead);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "bench/bench_util.h"
+
+#include "common/logging.h"
+
+namespace pandora {
+namespace bench {
+
+bool FastMode() {
+  const char* env = std::getenv("PANDORA_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+uint64_t Scaled(uint64_t normal) {
+  return FastMode() ? std::max<uint64_t>(1, normal / 4) : normal;
+}
+
+cluster::ClusterConfig PaperTestbed() {
+  cluster::ClusterConfig config;
+  config.memory_nodes = 2;
+  config.compute_nodes = 2;
+  config.replication = 2;
+  config.net.one_way_ns = 1500;   // Low-µs RDMA round trips.
+  config.net.per_byte_ns = 0.08;  // 100 Gbps.
+  // 64 x 2 KiB slots per coordinator: room for TPC-C's ~27-object
+  // write-sets in every logging scheme (per-object records, lock intents,
+  // and Pandora's fragmented coordinator records).
+  config.log.slots_per_coordinator = 64;
+  config.log.slot_bytes = 2048;
+  config.log.max_coordinators = 1100;
+  return config;
+}
+
+recovery::FdConfig PaperFd() {
+  recovery::FdConfig fd;
+  fd.timeout_us = 5000;  // The paper's 5 ms timeout.
+  fd.heartbeat_period_us = 1000;
+  fd.poll_period_us = 500;
+  return fd;
+}
+
+recovery::FdConfig BenchFd() {
+  recovery::FdConfig fd;
+  fd.timeout_us = 100'000;
+  fd.heartbeat_period_us = 10'000;
+  fd.poll_period_us = 10'000;
+  return fd;
+}
+
+Testbed::Testbed(const cluster::ClusterConfig& cluster_config,
+                 const recovery::RecoveryManagerConfig& rm_config,
+                 workloads::Workload* workload, bool start_fd)
+    : workload_(workload) {
+  cluster_ = std::make_unique<cluster::Cluster>(cluster_config);
+  PANDORA_CHECK(workload_->Setup(cluster_.get()).ok());
+  manager_ = std::make_unique<recovery::RecoveryManager>(cluster_.get(),
+                                                         rm_config, &gate_);
+  if (start_fd) manager_->Start();
+}
+
+Testbed::~Testbed() { manager_->Stop(); }
+
+std::unique_ptr<workloads::Driver> Testbed::MakeDriver(
+    const workloads::DriverConfig& config) {
+  return std::make_unique<workloads::Driver>(
+      cluster_.get(), manager_.get(), &gate_, workload_, config);
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==============================================="
+              "=============================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================"
+              "============================\n");
+}
+
+void PrintTimeline(const std::string& label,
+                   const std::vector<double>& mtps, uint64_t bucket_ms) {
+  std::printf("%-28s", (label + " (MTps):").c_str());
+  for (size_t i = 0; i < mtps.size(); ++i) {
+    std::printf(" %.4f", mtps[i]);
+  }
+  std::printf("   [bucket=%lums]\n",
+              static_cast<unsigned long>(bucket_ms));
+}
+
+void PrintRow(const std::string& label, double value,
+              const std::string& unit) {
+  std::printf("%-44s %12.4f %s\n", label.c_str(), value, unit.c_str());
+}
+
+}  // namespace bench
+}  // namespace pandora

@@ -1,0 +1,35 @@
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# build/bench/ contains ONLY the experiment binaries — `for b in
+# build/bench/*; do $b; done` must not trip over CMake bookkeeping.
+add_library(pandora_bench_util STATIC bench/bench_util.cc)
+target_link_libraries(pandora_bench_util PUBLIC pandora_workloads)
+target_include_directories(pandora_bench_util PUBLIC ${PROJECT_SOURCE_DIR})
+
+# One experiment binary per paper table/figure (see DESIGN.md's index).
+function(pandora_add_bench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE pandora_bench_util ${ARGN})
+  set_target_properties(${name} PROPERTIES
+                        RUNTIME_OUTPUT_DIRECTORY
+                        "${CMAKE_BINARY_DIR}/bench")
+endfunction()
+
+pandora_add_bench(bench_litmus_validation pandora_litmus)   # Table 1
+pandora_add_bench(bench_recovery_latency)                   # Table 2, §6.1
+pandora_add_bench(bench_steady_state)                       # Figure 6
+pandora_add_bench(bench_pill_mttf)                          # Figure 7
+pandora_add_bench(bench_failover_micro)                     # Figure 8
+pandora_add_bench(bench_failover_smallbank)                 # Figures 9, 12
+pandora_add_bench(bench_failover_tatp)                      # Figure 10
+pandora_add_bench(bench_failover_tpcc)                      # Figure 11
+pandora_add_bench(bench_stall_sensitivity)                  # Figures 13-14
+pandora_add_bench(bench_traditional_logging)                # §6.2.1
+pandora_add_bench(bench_distributed_fd)                     # §6.4, Figure 4
+
+# Micro-operation costs (google-benchmark).
+add_executable(bench_micro_ops bench/bench_micro_ops.cc)
+target_link_libraries(bench_micro_ops PRIVATE pandora_cluster
+                      benchmark::benchmark)
+set_target_properties(bench_micro_ops PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
+pandora_add_bench(bench_ablation)                          # design ablations

@@ -1,0 +1,78 @@
+#ifndef PANDORA_CLUSTER_CATALOG_H_
+#define PANDORA_CLUSTER_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "rdma/types.h"
+#include "store/log_layout.h"
+#include "store/table_layout.h"
+
+namespace pandora {
+namespace cluster {
+
+/// Everything a compute server needs to know to address a table on a given
+/// memory server: the region layout (identical on every replica) and the
+/// per-node rkey.
+struct TableInfo {
+  store::TableSpec spec;
+  store::TableLayout layout;
+  /// rkey of this table's region, indexed by memory NodeId.
+  std::vector<rdma::RKey> region_rkeys;
+};
+
+/// Cluster-wide schema and region directory. Built once on the control path
+/// at startup; read-only afterwards (no locking needed on the data path).
+class Catalog {
+ public:
+  explicit Catalog(uint32_t num_memory_nodes)
+      : num_memory_nodes_(num_memory_nodes),
+        log_rkeys_(num_memory_nodes, rdma::kInvalidRKey) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  store::TableId AddTable(TableInfo info) {
+    const store::TableId id = static_cast<store::TableId>(tables_.size());
+    info.spec.id = id;
+    info.layout =
+        store::TableLayout(id, info.spec.value_size, info.spec.capacity);
+    tables_.push_back(std::move(info));
+    return id;
+  }
+
+  const TableInfo& table(store::TableId id) const {
+    PANDORA_CHECK(id < tables_.size());
+    return tables_[id];
+  }
+
+  TableInfo& mutable_table(store::TableId id) {
+    PANDORA_CHECK(id < tables_.size());
+    return tables_[id];
+  }
+
+  size_t num_tables() const { return tables_.size(); }
+  uint32_t num_memory_nodes() const { return num_memory_nodes_; }
+
+  void SetLogRegion(rdma::NodeId node, rdma::RKey rkey,
+                    const store::LogLayout& layout) {
+    log_rkeys_[node] = rkey;
+    log_layout_ = layout;
+  }
+  rdma::RKey log_rkey(rdma::NodeId node) const { return log_rkeys_[node]; }
+  const store::LogLayout& log_layout() const { return log_layout_; }
+
+ private:
+  uint32_t num_memory_nodes_;
+  std::vector<TableInfo> tables_;
+  std::vector<rdma::RKey> log_rkeys_;
+  store::LogLayout log_layout_;
+};
+
+}  // namespace cluster
+}  // namespace pandora
+
+#endif  // PANDORA_CLUSTER_CATALOG_H_

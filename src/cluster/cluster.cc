@@ -1,0 +1,230 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/coding.h"
+#include "common/logging.h"
+#include "store/object_header.h"
+
+namespace pandora {
+namespace cluster {
+
+namespace {
+
+// Upper bound on tables per deployment (TPC-C needs 9); lets the address
+// cache be sized before the schema exists.
+constexpr size_t kMaxTables = 16;
+
+// Keep hash-table regions at or below this load factor so linear probes
+// stay short.
+constexpr double kMaxLoadFactor = 0.6;
+
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  PANDORA_CHECK(config_.replication >= 1);
+  PANDORA_CHECK(config_.replication <= config_.memory_nodes);
+  fabric_ = std::make_unique<rdma::Fabric>(config_.net);
+
+  std::vector<rdma::NodeId> memory_ids;
+  for (uint32_t i = 0; i < config_.memory_nodes; ++i) {
+    const rdma::NodeId id = memory_node_id(i);
+    memory_ids.push_back(id);
+    memory_pds_.push_back(fabric_->AttachMemoryNode(id));
+    membership_.MarkMemoryAlive(id);
+  }
+
+  ring_ = std::make_unique<HashRing>(memory_ids, config_.replication);
+  catalog_ = std::make_unique<Catalog>(config_.memory_nodes);
+  addresses_ =
+      std::make_unique<AddressCache>(kMaxTables, config_.memory_nodes);
+
+  // Per-coordinator undo-log area on every memory server.
+  const store::LogLayout log_layout(config_.log);
+  for (uint32_t i = 0; i < config_.memory_nodes; ++i) {
+    const rdma::RKey rkey = memory_pds_[i]->RegisterRegion(
+        log_layout.region_size(), "log");
+    catalog_->SetLogRegion(memory_node_id(i), rkey, log_layout);
+  }
+
+  for (uint32_t i = 0; i < config_.compute_nodes; ++i) {
+    computes_.push_back(
+        std::make_unique<ComputeServer>(compute_node_id(i), fabric_.get()));
+  }
+}
+
+std::vector<ComputeServer*> Cluster::ComputeServers() {
+  std::vector<ComputeServer*> out;
+  out.reserve(computes_.size());
+  for (auto& c : computes_) out.push_back(c.get());
+  return out;
+}
+
+store::TableId Cluster::CreateTable(const std::string& name,
+                                    uint32_t value_size,
+                                    uint64_t expected_keys) {
+  PANDORA_CHECK(catalog_->num_tables() < kMaxTables);
+  // Every memory server can be a replica for any key; with an even key
+  // spread each holds ~ expected_keys * replication / memory_nodes objects.
+  const double per_server =
+      static_cast<double>(expected_keys) * config_.replication /
+      config_.memory_nodes;
+  const uint64_t capacity = std::max<uint64_t>(
+      64, static_cast<uint64_t>(per_server / kMaxLoadFactor) + 1);
+
+  TableInfo info;
+  info.spec.name = name;
+  info.spec.value_size = value_size;
+  info.spec.capacity = capacity;
+  info.region_rkeys.resize(config_.memory_nodes, rdma::kInvalidRKey);
+  const store::TableId id = catalog_->AddTable(std::move(info));
+
+  TableInfo& stored = catalog_->mutable_table(id);
+  for (uint32_t i = 0; i < config_.memory_nodes; ++i) {
+    stored.region_rkeys[i] = memory_pds_[i]->RegisterRegion(
+        stored.layout.region_size(), name);
+    // Mark every slot free: a zeroed key word would collide with legal
+    // key 0.
+    rdma::MemoryRegion* region =
+        memory_pds_[i]->GetRegion(stored.region_rkeys[i]);
+    for (uint64_t slot = 0; slot < stored.layout.capacity(); ++slot) {
+      EncodeFixed64(region->base() + stored.layout.KeyOffset(slot),
+                    store::kFreeKey);
+    }
+  }
+  return id;
+}
+
+Status Cluster::LoadRow(store::TableId table, store::Key key, Slice value) {
+  const TableInfo& info = catalog_->table(table);
+  if (key == store::kFreeKey) {
+    return Status::InvalidArgument("reserved key value");
+  }
+  if (value.size() > info.spec.value_size) {
+    return Status::InvalidArgument("value larger than table value_size");
+  }
+  const store::TableLayout& layout = info.layout;
+
+  for (const rdma::NodeId node : ReplicasFor(table, key)) {
+    rdma::MemoryRegion* region =
+        memory_pds_[node]->GetRegion(info.region_rkeys[node]);
+    PANDORA_CHECK(region != nullptr);
+    char* base = region->base();
+
+    // Linear probe for the key's slot (control path: direct memory).
+    uint64_t slot = layout.HomeSlot(HashKey(key));
+    uint64_t scanned = 0;
+    while (true) {
+      if (scanned++ == layout.capacity()) {
+        return Status::ResourceExhausted("table region full during load");
+      }
+      const uint64_t existing =
+          DecodeFixed64(base + layout.KeyOffset(slot));
+      if (existing == store::kFreeKey) break;
+      if (existing == key) break;  // Overwrite (idempotent load).
+      slot = layout.NextSlot(slot);
+    }
+
+    EncodeFixed64(base + layout.KeyOffset(slot), key);
+    std::memset(base + layout.ValueOffset(slot), 0,
+                layout.padded_value_size());
+    if (!value.empty()) {
+      std::memcpy(base + layout.ValueOffset(slot), value.data(),
+                  value.size());
+    }
+    EncodeFixed64(base + layout.LockOffset(slot), store::kUnlocked);
+    EncodeFixed64(base + layout.VersionOffset(slot),
+                  store::MakeVersion(/*version=*/1, /*tombstone=*/false));
+    addresses_->InsertBase(table, node, key, slot);
+  }
+  return Status::OK();
+}
+
+Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
+  if (membership_.IsMemoryAlive(node)) {
+    return Status::InvalidArgument("memory node is not dead");
+  }
+  rdma::ProtectionDomain* pd = memory_pds_[node];
+
+  // Wipe: a replacement server starts empty (the crashed server's DRAM is
+  // gone). Region objects are reused; contents are reset.
+  for (size_t t = 0; t < catalog_->num_tables(); ++t) {
+    const TableInfo& info = catalog_->table(static_cast<store::TableId>(t));
+    rdma::MemoryRegion* region = pd->GetRegion(info.region_rkeys[node]);
+    std::memset(region->base(), 0, region->size());
+    for (uint64_t slot = 0; slot < info.layout.capacity(); ++slot) {
+      EncodeFixed64(region->base() + info.layout.KeyOffset(slot),
+                    store::kFreeKey);
+    }
+    addresses_->ResetNode(static_cast<store::TableId>(t), node);
+  }
+  {
+    rdma::MemoryRegion* log_region =
+        pd->GetRegion(catalog_->log_rkey(node));
+    std::memset(log_region->base(), 0, log_region->size());
+  }
+
+  // Re-replicate: copy every object whose replica set includes this node
+  // from its current primary. (A production system streams this with
+  // one-sided reads; re-replication is a stop-the-world control-path bulk
+  // operation either way, §3.2.5.)
+  for (size_t t = 0; t < catalog_->num_tables(); ++t) {
+    const store::TableId table = static_cast<store::TableId>(t);
+    const TableInfo& info = catalog_->table(table);
+    const store::TableLayout& layout = info.layout;
+    rdma::MemoryRegion* dst_region = pd->GetRegion(info.region_rkeys[node]);
+
+    for (uint32_t m = 0; m < config_.memory_nodes; ++m) {
+      const rdma::NodeId source = memory_node_id(m);
+      if (source == node || !membership_.IsMemoryAlive(source)) continue;
+      rdma::MemoryRegion* src_region =
+          memory_pds_[source]->GetRegion(info.region_rkeys[source]);
+
+      for (uint64_t slot = 0; slot < layout.capacity(); ++slot) {
+        const store::Key key =
+            DecodeFixed64(src_region->base() + layout.KeyOffset(slot));
+        if (key == store::kFreeKey) continue;
+        const auto replicas = ring_->ReplicasFor(table, key);
+        // Copy once, from the current primary only.
+        if (PrimaryFor(table, key) != source) continue;
+        if (std::find(replicas.begin(), replicas.end(), node) ==
+            replicas.end()) {
+          continue;
+        }
+        // Probe-insert into the rebuilt region.
+        uint64_t dst = layout.HomeSlot(HashKey(key));
+        uint64_t scanned = 0;
+        while (DecodeFixed64(dst_region->base() + layout.KeyOffset(dst)) !=
+               store::kFreeKey) {
+          if (scanned++ == layout.capacity()) {
+            return Status::ResourceExhausted(
+                "rebuilt region full during re-replication");
+          }
+          dst = layout.NextSlot(dst);
+        }
+        std::memcpy(dst_region->base() + layout.SlotOffset(dst),
+                    src_region->base() + layout.SlotOffset(slot),
+                    layout.slot_size());
+        addresses_->InsertBase(table, node, key, dst);
+      }
+    }
+  }
+
+  fabric_->RestoreNodeEverywhere(node);
+  fabric_->ResumeNode(node);
+  membership_.MarkMemoryAlive(node);
+  return Status::OK();
+}
+
+rdma::NodeId Cluster::PrimaryFor(store::TableId table,
+                                 store::Key key) const {
+  for (const rdma::NodeId node : ring_->ReplicasFor(table, key)) {
+    if (membership_.IsMemoryAlive(node)) return node;
+  }
+  return rdma::kInvalidNodeId;
+}
+
+}  // namespace cluster
+}  // namespace pandora

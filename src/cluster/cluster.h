@@ -1,0 +1,149 @@
+#ifndef PANDORA_CLUSTER_CLUSTER_H_
+#define PANDORA_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/address_cache.h"
+#include "cluster/catalog.h"
+#include "cluster/compute_server.h"
+#include "cluster/membership.h"
+#include "cluster/placement.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "rdma/fabric.h"
+
+namespace pandora {
+namespace cluster {
+
+/// Memory technology of the memory servers (§7). The protocols are
+/// identical; only the durability mechanism differs.
+enum class PersistenceMode {
+  /// Plain DRAM: durability comes from f+1 in-memory replication (the
+  /// paper's default deployment).
+  kVolatileDram,
+  /// Battery-backed DRAM: every landed write is durable; "no flushing is
+  /// required on the critical path".
+  kBatteryBackedDram,
+  /// NVM behind an RNIC cache: durable writes need FORD's selective
+  /// one-sided flush (a small RDMA read to the same region forces the
+  /// preceding writes out of the RNIC cache into the NVM).
+  kNvmWithFlush,
+};
+
+/// Deployment parameters for one simulated DKVS.
+struct ClusterConfig {
+  uint32_t memory_nodes = 2;
+  uint32_t compute_nodes = 2;
+  /// Replication degree f+1 (each object lives on one primary + f backups).
+  uint32_t replication = 2;
+  PersistenceMode persistence = PersistenceMode::kVolatileDram;
+  rdma::NetworkConfig net;
+  store::LogConfig log;
+};
+
+/// Builds and owns the whole simulated deployment: the fabric, the memory
+/// servers (regions), the compute servers, placement and the catalog.
+///
+/// Node-id convention: memory servers take ids [0, memory_nodes); compute
+/// servers take [memory_nodes, memory_nodes + compute_nodes); auxiliary
+/// services (failure detector, recovery coordinator) take ids above that.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  rdma::Fabric& fabric() { return *fabric_; }
+  const HashRing& ring() const { return *ring_; }
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  Membership& membership() { return membership_; }
+  const Membership& membership() const { return membership_; }
+  AddressCache& addresses() { return *addresses_; }
+  const AddressCache& addresses() const { return *addresses_; }
+
+  uint32_t num_memory_nodes() const { return config_.memory_nodes; }
+  uint32_t num_compute_nodes() const { return config_.compute_nodes; }
+
+  rdma::NodeId memory_node_id(uint32_t i) const {
+    return static_cast<rdma::NodeId>(i);
+  }
+  rdma::NodeId compute_node_id(uint32_t i) const {
+    return static_cast<rdma::NodeId>(config_.memory_nodes + i);
+  }
+  /// Node id reserved for control services (FD / recovery coordinator).
+  rdma::NodeId service_node_id() const {
+    return static_cast<rdma::NodeId>(config_.memory_nodes +
+                                     config_.compute_nodes);
+  }
+
+  ComputeServer* compute(uint32_t i) { return computes_[i].get(); }
+
+  /// All compute servers (for failed-id broadcast).
+  std::vector<ComputeServer*> ComputeServers();
+
+  /// --- Control-path schema & bulk load ---------------------------------
+
+  /// Creates a table able to hold `expected_keys` objects with values of
+  /// `value_size` bytes, allocating a region on every memory server.
+  store::TableId CreateTable(const std::string& name, uint32_t value_size,
+                             uint64_t expected_keys);
+
+  /// Loads one row into every replica (control path, before transactions
+  /// start). Records the slot addresses in the shared address cache.
+  Status LoadRow(store::TableId table, store::Key key, Slice value);
+
+  /// Replica set (static, primary first) of an object.
+  std::vector<rdma::NodeId> ReplicasFor(store::TableId table,
+                                        store::Key key) const {
+    return ring_->ReplicasFor(table, key);
+  }
+
+  /// First *alive* node of the replica set = the current primary (§3.2.5).
+  /// Returns kInvalidNodeId if every replica is dead (> f failures).
+  rdma::NodeId PrimaryFor(store::TableId table, store::Key key) const;
+
+  /// --- Failure emulation -------------------------------------------------
+
+  /// Crashes a compute server's process.
+  void CrashComputeNode(rdma::NodeId node) { fabric_->HaltNode(node); }
+
+  /// Restores a previously crashed compute server (models restarting the
+  /// process on the freed resources; it must obtain fresh coordinator-ids).
+  void RestartComputeNode(rdma::NodeId node) {
+    fabric_->RestoreNodeEverywhere(node);
+    fabric_->ResumeNode(node);
+  }
+
+  /// Crashes a memory server.
+  void CrashMemoryNode(rdma::NodeId node) {
+    fabric_->HaltNode(node);
+    membership_.MarkMemoryDead(node);
+  }
+
+  /// §3.2.5 re-replication: brings a previously crashed memory server
+  /// back as a *fresh* replica — wipes its regions, copies every object
+  /// it should replicate from the current primaries, and re-admits it to
+  /// the membership. The caller must have quiesced transactions (the
+  /// paper stops the DKVS for this).
+  Status RebuildMemoryNode(rdma::NodeId node);
+
+ private:
+  ClusterConfig config_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::vector<rdma::ProtectionDomain*> memory_pds_;
+  std::unique_ptr<HashRing> ring_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<AddressCache> addresses_;
+  Membership membership_;
+  std::vector<std::unique_ptr<ComputeServer>> computes_;
+};
+
+}  // namespace cluster
+}  // namespace pandora
+
+#endif  // PANDORA_CLUSTER_CLUSTER_H_

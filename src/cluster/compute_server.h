@@ -1,0 +1,64 @@
+#ifndef PANDORA_CLUSTER_COMPUTE_SERVER_H_
+#define PANDORA_CLUSTER_COMPUTE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/fixed_bitset.h"
+#include "rdma/fabric.h"
+#include "rdma/queue_pair.h"
+#include "rdma/types.h"
+
+namespace pandora {
+namespace cluster {
+
+/// Compute-side per-server state: queue pairs to every memory server and
+/// the failed-ids bitset that PILL consults on every lock conflict.
+///
+/// Queue pairs are shared by all coordinators on the server — they carry no
+/// mutable state, so concurrent verbs are safe (each verb is independently
+/// applied and timed).
+class ComputeServer {
+ public:
+  ComputeServer(rdma::NodeId node, rdma::Fabric* fabric)
+      : node_(node), fabric_(fabric) {
+    for (const rdma::NodeId mem : fabric->MemoryNodes()) {
+      if (qps_.size() <= mem) qps_.resize(mem + 1);
+      qps_[mem] = fabric->CreateQueuePair(node, mem);
+    }
+  }
+
+  ComputeServer(const ComputeServer&) = delete;
+  ComputeServer& operator=(const ComputeServer&) = delete;
+
+  rdma::NodeId node() const { return node_; }
+
+  rdma::QueuePair* qp(rdma::NodeId memory_node) const {
+    return qps_[memory_node].get();
+  }
+
+  /// PILL failed-ids set (§3.1.2). Updated by the failure detector's
+  /// stray-lock notification; read lock-free on the transaction fast path.
+  FailedIdBitset& failed_ids() { return failed_ids_; }
+  const FailedIdBitset& failed_ids() const { return failed_ids_; }
+
+  /// True once this server's process has been crashed by the simulation.
+  bool halted() const { return fabric_->IsHalted(node_); }
+
+  /// Liveness flag pointer for wait loops that must abandon on crash.
+  const std::atomic<bool>* halted_flag() const {
+    return fabric_->halted_flag(node_);
+  }
+
+ private:
+  rdma::NodeId node_;
+  rdma::Fabric* fabric_;
+  std::vector<std::unique_ptr<rdma::QueuePair>> qps_;
+  FailedIdBitset failed_ids_;
+};
+
+}  // namespace cluster
+}  // namespace pandora
+
+#endif  // PANDORA_CLUSTER_COMPUTE_SERVER_H_

@@ -1,0 +1,56 @@
+#ifndef PANDORA_CLUSTER_PLACEMENT_H_
+#define PANDORA_CLUSTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdma/types.h"
+#include "store/table_layout.h"
+
+namespace pandora {
+namespace cluster {
+
+/// Consistent-hash placement of objects onto memory servers (§3.2.5: "We
+/// use consistent hashing to statically partition data across memory
+/// servers, avoiding resizing when new replicas are added or removed").
+///
+/// Each memory node contributes a fixed number of virtual points on the
+/// ring. An object's replica set is the first `replication` *distinct*
+/// nodes clockwise from hash(table, key). The replica list is a static
+/// property of the full ring; liveness filtering (who is primary *now*) is
+/// applied on top by the membership view, so that when a memory server
+/// fails, "compute servers deterministically calculate the new primary"
+/// (the first alive node in the replica list).
+class HashRing {
+ public:
+  HashRing(std::vector<rdma::NodeId> nodes, uint32_t replication,
+           uint32_t vnodes_per_node = 64);
+
+  uint32_t replication() const { return replication_; }
+  const std::vector<rdma::NodeId>& nodes() const { return nodes_; }
+
+  /// Replica set (primary first) for an object. Size == replication().
+  std::vector<rdma::NodeId> ReplicasFor(store::TableId table,
+                                        store::Key key) const;
+
+  /// Replica set for a precomputed placement hash.
+  std::vector<rdma::NodeId> ReplicasForHash(uint64_t hash) const;
+
+  /// Placement hash of (table, key).
+  static uint64_t PlacementHash(store::TableId table, store::Key key);
+
+ private:
+  struct Point {
+    uint64_t hash;
+    rdma::NodeId node;
+  };
+
+  std::vector<rdma::NodeId> nodes_;
+  uint32_t replication_;
+  std::vector<Point> ring_;  // Sorted by hash.
+};
+
+}  // namespace cluster
+}  // namespace pandora
+
+#endif  // PANDORA_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,20 @@
+#ifndef PANDORA_COMMON_CHECKSUM_H_
+#define PANDORA_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pandora {
+
+/// 64-bit FNV-1a hash over a byte range. Used to (a) frame log records so
+/// the recovery coordinator can detect torn writes from a coordinator that
+/// crashed mid-log, and (b) hash keys into hash-table slots.
+uint64_t Fnv1a64(const void* data, size_t size);
+
+/// Hash of a 64-bit key (cheap integer mix, SplitMix64 finalizer). Used for
+/// slot selection and consistent-hash placement.
+uint64_t HashKey(uint64_t key);
+
+}  // namespace pandora
+
+#endif  // PANDORA_COMMON_CHECKSUM_H_

@@ -1,0 +1,47 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace pandora {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const Clock::time_point kEpoch = Clock::now();
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           kEpoch)
+          .count());
+}
+
+uint64_t NowMicros() { return NowNanos() / 1000; }
+
+void SpinUntilNanos(uint64_t deadline_ns) {
+  // Spin for short waits; yield for longer ones. With only a couple of
+  // physical cores, pure spinning across many coordinator threads would
+  // serialize the whole simulation.
+  constexpr uint64_t kSpinThresholdNs = 20'000;
+  uint64_t now = NowNanos();
+  while (now < deadline_ns) {
+    if (deadline_ns - now > kSpinThresholdNs) {
+      std::this_thread::yield();
+    }
+    now = NowNanos();
+  }
+}
+
+void SpinForNanos(uint64_t delay_ns) {
+  SpinUntilNanos(NowNanos() + delay_ns);
+}
+
+void SleepForMicros(uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace pandora

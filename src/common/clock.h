@@ -1,0 +1,30 @@
+#ifndef PANDORA_COMMON_CLOCK_H_
+#define PANDORA_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace pandora {
+
+/// Monotonic wall-clock nanoseconds. All latency accounting in the simulated
+/// fabric and the benchmarks uses this clock.
+uint64_t NowNanos();
+
+/// Monotonic microseconds, for coarse-grained reporting.
+uint64_t NowMicros();
+
+/// Busy-waits until NowNanos() >= deadline_ns. For short waits (< ~50 us,
+/// i.e. simulated RDMA round trips) this spins; for longer waits it yields
+/// to the OS scheduler so multiplexed logical coordinators don't starve
+/// each other on a small core count.
+void SpinUntilNanos(uint64_t deadline_ns);
+
+/// Convenience: busy-wait for `delay_ns` nanoseconds from now.
+void SpinForNanos(uint64_t delay_ns);
+
+/// Sleeps (OS sleep, not spin) for the given duration. For heartbeat loops
+/// and failure-detector timers where burning a core would be wrong.
+void SleepForMicros(uint64_t micros);
+
+}  // namespace pandora
+
+#endif  // PANDORA_COMMON_CLOCK_H_

@@ -1,0 +1,41 @@
+#ifndef PANDORA_COMMON_CODING_H_
+#define PANDORA_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace pandora {
+
+/// Little-endian fixed-width encode/decode helpers for on-"wire"/in-region
+/// record framing. memcpy-based so they are safe for unaligned addresses.
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+/// Rounds `n` up to the next multiple of `align` (align must be a power of
+/// two). Object slots and log records are 8-byte aligned so header words can
+/// be accessed with 64-bit atomics.
+inline constexpr uint64_t AlignUp(uint64_t n, uint64_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace pandora
+
+#endif  // PANDORA_COMMON_CODING_H_

@@ -1,0 +1,81 @@
+#ifndef PANDORA_COMMON_FIXED_BITSET_H_
+#define PANDORA_COMMON_FIXED_BITSET_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pandora {
+
+/// Compact, lock-free bitset with a compile-time number of bits.
+///
+/// This is the representation the paper prescribes for the *failed-ids* set
+/// (§3.1.2): 64K entries so that the per-lock-conflict membership check stays
+/// O(1) regardless of how many compute servers have failed over the lifetime
+/// of the system. Reads are wait-free relaxed atomic loads (the check is on
+/// the transaction fast path); writes are rare (one per failure).
+template <size_t kBits>
+class AtomicFixedBitset {
+ public:
+  static_assert(kBits % 64 == 0, "bit count must be a multiple of 64");
+
+  AtomicFixedBitset() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  // Bitsets are identity objects shared across threads; no copies.
+  AtomicFixedBitset(const AtomicFixedBitset&) = delete;
+  AtomicFixedBitset& operator=(const AtomicFixedBitset&) = delete;
+
+  static constexpr size_t size() { return kBits; }
+
+  void Set(size_t bit) {
+    words_[bit / 64].fetch_or(1ULL << (bit % 64), std::memory_order_release);
+  }
+
+  void Clear(size_t bit) {
+    words_[bit / 64].fetch_and(~(1ULL << (bit % 64)),
+                               std::memory_order_release);
+  }
+
+  bool Test(size_t bit) const {
+    return (words_[bit / 64].load(std::memory_order_acquire) >>
+            (bit % 64)) &
+           1ULL;
+  }
+
+  /// Number of set bits. O(kBits/64); not on the fast path.
+  size_t Count() const {
+    size_t count = 0;
+    for (const auto& w : words_) {
+      count += static_cast<size_t>(
+          __builtin_popcountll(w.load(std::memory_order_acquire)));
+    }
+    return count;
+  }
+
+  void Reset() {
+    for (auto& w : words_) w.store(0, std::memory_order_release);
+  }
+
+  /// Copies the contents of `other` into this bitset (used when a compute
+  /// server receives the initial failed-ids configuration from the FD).
+  void CopyFrom(const AtomicFixedBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i].store(other.words_[i].load(std::memory_order_acquire),
+                      std::memory_order_release);
+    }
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBits / 64> words_;
+};
+
+/// The paper uses 16-bit coordinator-ids, giving 64K ids over the lifetime
+/// of the system (§3.1.2 "Recycling coordinator-ids").
+using FailedIdBitset = AtomicFixedBitset<65536>;
+
+}  // namespace pandora
+
+#endif  // PANDORA_COMMON_FIXED_BITSET_H_

@@ -1,0 +1,50 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+namespace pandora {
+
+int LatencyHistogram::BucketFor(uint64_t nanos) {
+  if (nanos < kSubBuckets) return static_cast<int>(nanos);
+  const int octave = 63 - __builtin_clzll(nanos);
+  // Two bits below the leading bit select the sub-bucket.
+  const int sub =
+      static_cast<int>((nanos >> (octave - 2)) & (kSubBuckets - 1));
+  const int bucket = octave * kSubBuckets + sub;
+  return std::min(bucket, kBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(int bucket) {
+  const int octave = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  if (octave == 0) return static_cast<uint64_t>(sub);
+  return (1ULL << octave) |
+         (static_cast<uint64_t>(sub) << (octave - 2));
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  counts_[BucketFor(nanos)]++;
+  total_++;
+  sum_ += nanos;
+  max_ = std::max(max_, nanos);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t LatencyHistogram::PercentileNanos(double p) const {
+  if (total_ == 0) return 0;
+  const double target = static_cast<double>(total_) * p / 100.0;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (static_cast<double>(seen) >= target) return BucketLowerBound(b);
+  }
+  return max_;
+}
+
+}  // namespace pandora

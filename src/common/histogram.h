@@ -1,0 +1,48 @@
+#ifndef PANDORA_COMMON_HISTOGRAM_H_
+#define PANDORA_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace pandora {
+
+/// Log-bucketed latency histogram (4 sub-buckets per power of two, so
+/// percentile error is bounded by ~25%). Single-writer; merge across
+/// threads at the end of a run.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() { counts_.fill(0); }
+
+  void Record(uint64_t nanos);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return total_; }
+  uint64_t sum_nanos() const { return sum_; }
+  double MeanNanos() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(total_);
+  }
+
+  /// Approximate latency at percentile `p` in [0, 100].
+  uint64_t PercentileNanos(double p) const;
+
+  uint64_t MaxNanos() const { return max_; }
+
+ private:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kOctaves = 64;
+  static constexpr int kBuckets = kSubBuckets * kOctaves;
+
+  static int BucketFor(uint64_t nanos);
+  static uint64_t BucketLowerBound(int bucket);
+
+  std::array<uint64_t, kBuckets> counts_;
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_COMMON_HISTOGRAM_H_

@@ -1,0 +1,103 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pandora {
+
+namespace {
+
+// SplitMix64, used to expand the user seed into the xorshift state so that
+// small consecutive seeds still produce uncorrelated streams.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t state = seed;
+  s_[0] = SplitMix64(&state);
+  s_[1] = SplitMix64(&state);
+  if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s_[0];
+  const uint64_t y = s_[1];
+  s_[0] = y;
+  x ^= x << 23;
+  s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s_[1] + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  return Next() % n;
+}
+
+uint64_t Random::Range(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return lo + Uniform(hi - lo + 1);
+}
+
+bool Random::PercentTrue(uint32_t percent) {
+  return Uniform(100) < percent;
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  zetan_ = Zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  const double zeta2 = Zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) const {
+  // Exact for small n; sampled approximation for very large n keeps
+  // construction O(1M) instead of O(n).
+  constexpr uint64_t kExactLimit = 10'000'000;
+  if (n <= kExactLimit) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+  // zeta(n) ~= zeta(m) + integral_{m}^{n} x^-theta dx.
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= kExactLimit; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  const double m = static_cast<double>(kExactLimit);
+  sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+          std::pow(m, 1.0 - theta)) /
+         (1.0 - theta);
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() { return Sample(&rng_); }
+
+uint64_t ZipfGenerator::Sample(Random* rng) const {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace pandora

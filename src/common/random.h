@@ -1,0 +1,63 @@
+#ifndef PANDORA_COMMON_RANDOM_H_
+#define PANDORA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pandora {
+
+/// Small, fast xorshift128+ PRNG. Deterministic for a given seed; not
+/// thread-safe (use one instance per thread / coordinator).
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// True with probability `percent`/100.
+  bool PercentTrue(uint32_t percent);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s_[2];
+};
+
+/// Zipfian key-popularity generator over [0, n), using the rejection-
+/// inversion method of Hörmann & Derflinger (as used by YCSB-style
+/// generators). theta in (0, 1) controls skew; theta -> 0 is uniform-ish,
+/// theta ~0.99 is the classic YCSB hot-spot distribution.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  /// Draws using an external PRNG (for sharing one generator across
+  /// coordinator threads, each with its own Random).
+  uint64_t Sample(Random* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_COMMON_RANDOM_H_

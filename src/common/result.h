@@ -1,0 +1,64 @@
+#ifndef PANDORA_COMMON_RESULT_H_
+#define PANDORA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pandora {
+
+/// Either a value of type T or a non-OK Status, in the style of
+/// arrow::Result. A Result constructed from a value is OK; a Result
+/// constructed from a Status must carry a non-OK status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pandora
+
+/// Assigns the value of a Result expression to `lhs`, or early-returns its
+/// Status if the Result holds an error.
+#define PANDORA_ASSIGN_OR_RETURN(lhs, expr)          \
+  PANDORA_ASSIGN_OR_RETURN_IMPL_(                    \
+      PANDORA_CONCAT_(_result_, __COUNTER__), lhs, expr)
+
+#define PANDORA_CONCAT_INNER_(a, b) a##b
+#define PANDORA_CONCAT_(a, b) PANDORA_CONCAT_INNER_(a, b)
+#define PANDORA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#endif  // PANDORA_COMMON_RESULT_H_

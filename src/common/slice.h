@@ -1,0 +1,51 @@
+#ifndef PANDORA_COMMON_SLICE_H_
+#define PANDORA_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pandora {
+
+/// Non-owning view over a byte range, in the style of rocksdb::Slice.
+/// The referenced memory must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(s.data()), size_(s.size()) {}
+  Slice(std::string_view s)  // NOLINT(runtime/explicit)
+      : data_(s.data()), size_(s.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_COMMON_SLICE_H_

@@ -1,0 +1,114 @@
+#ifndef PANDORA_COMMON_STATUS_H_
+#define PANDORA_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pandora {
+
+/// Error-code result of an operation, in the style of RocksDB/Arrow.
+/// The project does not use exceptions; every fallible operation returns a
+/// Status (or a Result<T>, see result.h).
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIoError = 4,
+    kBusy = 5,            // Object locked by a live transaction.
+    kAborted = 6,         // Transaction aborted (validation/lock failure).
+    kPermissionDenied = 7,  // RDMA rights revoked (active-link termination).
+    kUnavailable = 8,     // Remote node crashed or unreachable.
+    kTimedOut = 9,
+    kResourceExhausted = 10,
+    kInternal = 11,
+  };
+
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = {}) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = {}) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = {}) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IoError(std::string_view msg = {}) {
+    return Status(Code::kIoError, msg);
+  }
+  static Status Busy(std::string_view msg = {}) {
+    return Status(Code::kBusy, msg);
+  }
+  static Status Aborted(std::string_view msg = {}) {
+    return Status(Code::kAborted, msg);
+  }
+  static Status PermissionDenied(std::string_view msg = {}) {
+    return Status(Code::kPermissionDenied, msg);
+  }
+  static Status Unavailable(std::string_view msg = {}) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status TimedOut(std::string_view msg = {}) {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg = {}) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg = {}) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsPermissionDenied() const { return code_ == Code::kPermissionDenied; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string for logs and error reports.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+}  // namespace pandora
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function. Standard early-return plumbing for the no-exceptions
+/// error model.
+#define PANDORA_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::pandora::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // PANDORA_COMMON_STATUS_H_

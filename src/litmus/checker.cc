@@ -1,0 +1,122 @@
+#include "litmus/checker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pandora {
+namespace litmus {
+
+std::string FormatVarState(const VarState& state) {
+  static const char* kNames[] = {"X", "Y", "Z", "W", "V4", "V5", "V6", "V7"};
+  std::string out = "{";
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += i < 8 ? kNames[i] : ("V" + std::to_string(i));
+    out += "=";
+    out += state[i].has_value() ? std::to_string(*state[i]) : "absent";
+  }
+  return out + "}";
+}
+
+bool SerializabilityChecker::ApplyTxn(const LitmusTxn& txn,
+                                      const TxnObservation& observation,
+                                      bool check_reads,
+                                      VarState* state) const {
+  std::optional<uint64_t> regs[4];
+  size_t read_index = 0;
+  for (const LitmusOp& op : txn.ops) {
+    switch (op.kind) {
+      case LitmusOp::Kind::kLoad: {
+        const std::optional<uint64_t> model_value = (*state)[op.src];
+        if (check_reads && read_index < observation.reads.size() &&
+            observation.reads[read_index] != model_value) {
+          return false;  // Observed read has no place in this order.
+        }
+        ++read_index;
+        regs[op.reg] = model_value;
+        break;
+      }
+      case LitmusOp::Kind::kStoreConst:
+      case LitmusOp::Kind::kInsertConst:
+        (*state)[op.dst] = op.value;
+        break;
+      case LitmusOp::Kind::kStoreRegPlus:
+        // A load that found the key absent aborts the real transaction
+        // before the dependent store; model that as value 0 base (the
+        // specs never store through an absent read in committed runs).
+        (*state)[op.dst] = regs[op.reg].value_or(0) + op.value;
+        break;
+      case LitmusOp::Kind::kDelete:
+        (*state)[op.dst] = std::nullopt;
+        break;
+    }
+  }
+  return true;
+}
+
+bool SerializabilityChecker::Check(
+    const std::vector<TxnObservation>& observations,
+    const VarState& final_state, std::string* explanation) const {
+  PANDORA_CHECK(observations.size() == spec_.txns.size());
+
+  // Partition transactions.
+  std::vector<size_t> committed;
+  std::vector<size_t> unknown;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    switch (observations[i].outcome) {
+      case TxnObservation::Outcome::kCommitted:
+        committed.push_back(i);
+        break;
+      case TxnObservation::Outcome::kUnknown:
+        unknown.push_back(i);
+        break;
+      case TxnObservation::Outcome::kAborted:
+        break;
+    }
+  }
+
+  // Every subset of the unknown transactions may or may not have taken
+  // effect (the recovery decision).
+  const size_t subsets = 1ull << unknown.size();
+  for (size_t mask = 0; mask < subsets; ++mask) {
+    std::vector<size_t> included = committed;
+    for (size_t u = 0; u < unknown.size(); ++u) {
+      if (mask & (1ull << u)) included.push_back(unknown[u]);
+    }
+    std::sort(included.begin(), included.end());
+
+    // Try every serial order of the included transactions.
+    do {
+      VarState state = spec_.initial;
+      bool order_ok = true;
+      for (const size_t t : included) {
+        const bool check_reads =
+            observations[t].outcome == TxnObservation::Outcome::kCommitted;
+        if (!ApplyTxn(spec_.txns[t], observations[t], check_reads,
+                      &state)) {
+          order_ok = false;
+          break;
+        }
+      }
+      if (order_ok && state == final_state) return true;
+    } while (std::next_permutation(included.begin(), included.end()));
+  }
+
+  if (explanation != nullptr) {
+    *explanation = "no serial execution explains final state " +
+                   FormatVarState(final_state) + " (committed:";
+    for (const size_t t : committed) {
+      *explanation += " " + spec_.txns[t].name;
+    }
+    *explanation += "; unknown:";
+    for (const size_t t : unknown) {
+      *explanation += " " + spec_.txns[t].name;
+    }
+    *explanation += ")";
+  }
+  return false;
+}
+
+}  // namespace litmus
+}  // namespace pandora

@@ -1,0 +1,65 @@
+#ifndef PANDORA_LITMUS_CHECKER_H_
+#define PANDORA_LITMUS_CHECKER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/litmus_spec.h"
+
+namespace pandora {
+namespace litmus {
+
+/// What the harness learned about one executed litmus transaction.
+struct TxnObservation {
+  enum class Outcome {
+    kCommitted,  // commit-ack received
+    kAborted,    // abort-ack received (no effects)
+    kUnknown,    // coordinator crashed before any ack: effects may or may
+                 // not survive, depending on the recovery decision
+  };
+
+  Outcome outcome = Outcome::kAborted;
+  /// Values returned by the transaction's kLoad ops, in program order
+  /// (std::nullopt = key absent). Only trusted for committed txns.
+  std::vector<std::optional<uint64_t>> reads;
+};
+
+/// Value of every litmus variable (std::nullopt = absent/deleted).
+using VarState = std::vector<std::optional<uint64_t>>;
+
+/// Application-observable-state serializability checker (after Crooks et
+/// al. [19], as adopted by the paper's litmus framework §5).
+///
+/// A run is accepted iff there exists (a) a subset S of transactions that
+/// contains every committed transaction, no aborted transaction, and any
+/// subset of the unknown (crashed) ones, and (b) a serial order of S under
+/// which every committed transaction's observed reads match the model
+/// state at its position and the model's final state equals the observed
+/// final state. With <= 5 short transactions the exhaustive search is
+/// trivial; violations come with a human-readable explanation.
+class SerializabilityChecker {
+ public:
+  explicit SerializabilityChecker(const LitmusSpec& spec) : spec_(spec) {}
+
+  /// Returns true if the observed run is serializable. On failure,
+  /// `explanation` describes the observation that no serial order covers.
+  bool Check(const std::vector<TxnObservation>& observations,
+             const VarState& final_state, std::string* explanation) const;
+
+ private:
+  // Applies `txn` to `state` in the model. Returns false (and stops) if a
+  // committed txn's observed read contradicts the model state.
+  bool ApplyTxn(const LitmusTxn& txn, const TxnObservation& observation,
+                bool check_reads, VarState* state) const;
+
+  const LitmusSpec& spec_;
+};
+
+/// Renders a VarState like "{X=1, Y=absent}" for reports.
+std::string FormatVarState(const VarState& state);
+
+}  // namespace litmus
+}  // namespace pandora
+
+#endif  // PANDORA_LITMUS_CHECKER_H_

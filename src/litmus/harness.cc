@@ -1,0 +1,470 @@
+#include "litmus/harness.h"
+
+#include <atomic>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "common/checksum.h"
+#include "common/coding.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "txn/coordinator.h"
+
+namespace pandora {
+namespace litmus {
+
+namespace {
+
+// Keys per iteration (upper bound on litmus variables).
+constexpr uint64_t kVarStride = 16;
+
+store::Key VarKey(int iteration, Var var) {
+  return static_cast<store::Key>(iteration) * kVarStride + var;
+}
+
+// Hook that never fires. Installed on every coordinator so the protocols
+// run their litmus-grade sequential (per-replica) apply/unlock paths,
+// maximizing the interleavings a litmus test can observe.
+class NeverCrash : public txn::CrashHook {
+ public:
+  bool MaybeCrash(txn::CrashPoint) override { return false; }
+};
+
+// Crash hook firing at the Nth protocol crash point the coordinator hits.
+class CrashAtOccurrence : public txn::CrashHook {
+ public:
+  explicit CrashAtOccurrence(int occurrence) : remaining_(occurrence) {}
+
+  bool MaybeCrash(txn::CrashPoint point) override {
+    return --remaining_ == 0;
+  }
+
+  bool fired() const { return remaining_ <= 0; }
+
+ private:
+  std::atomic<int> remaining_;
+};
+
+// Executes one litmus program on a coordinator; fills the observation.
+void ExecuteProgram(txn::Coordinator* coord, const LitmusTxn& program,
+                    int iteration, store::TableId table,
+                    TxnObservation* out) {
+  // Outcome is keyed off the client acks (Cor3), not local return codes.
+  std::atomic<int> ack{-1};  // -1 none, 0 abort-ack, 1 commit-ack
+  coord->set_ack_callback([&ack](uint64_t, bool committed) {
+    ack.store(committed ? 1 : 0, std::memory_order_release);
+  });
+
+  out->reads.clear();
+  Status status = coord->Begin();
+  if (!status.ok()) {
+    // Never started: no effects are possible.
+    out->outcome = TxnObservation::Outcome::kAborted;
+    return;
+  }
+  for (size_t i = 0; status.ok() && i < program.ops.size(); ++i) {
+    const LitmusOp& op = program.ops[i];
+    char buf[8];
+    switch (op.kind) {
+      case LitmusOp::Kind::kLoad: {
+        std::string value;
+        status = coord->Read(table, VarKey(iteration, op.src), &value);
+        if (status.ok()) {
+          out->reads.push_back(DecodeFixed64(value.data()));
+        } else if (status.IsNotFound()) {
+          out->reads.push_back(std::nullopt);
+          status = Status::OK();
+        }
+        break;
+      }
+      case LitmusOp::Kind::kStoreConst:
+        EncodeFixed64(buf, op.value);
+        status = coord->Write(table, VarKey(iteration, op.dst),
+                              Slice(buf, 8));
+        break;
+      case LitmusOp::Kind::kStoreRegPlus: {
+        // Registers live in the reads vector via the preceding kLoad ops;
+        // recompute from the recorded loads.
+        uint64_t reg_value = 0;
+        size_t seen = 0;
+        for (size_t j = 0; j < i; ++j) {
+          if (program.ops[j].kind != LitmusOp::Kind::kLoad) continue;
+          if (program.ops[j].reg == op.reg) {
+            reg_value = out->reads[seen].value_or(0);
+          }
+          ++seen;
+        }
+        EncodeFixed64(buf, reg_value + op.value);
+        status = coord->Write(table, VarKey(iteration, op.dst),
+                              Slice(buf, 8));
+        break;
+      }
+      case LitmusOp::Kind::kInsertConst:
+        EncodeFixed64(buf, op.value);
+        status = coord->Insert(table, VarKey(iteration, op.dst),
+                               Slice(buf, 8));
+        break;
+      case LitmusOp::Kind::kDelete:
+        status = coord->Delete(table, VarKey(iteration, op.dst));
+        if (status.IsNotFound()) status = Status::OK();
+        break;
+    }
+  }
+  if (status.ok()) {
+    status = coord->Commit();
+  } else if (coord->in_txn() && !status.IsUnavailable()) {
+    coord->Abort();
+  }
+
+  switch (ack.load(std::memory_order_acquire)) {
+    case 1:
+      out->outcome = TxnObservation::Outcome::kCommitted;
+      break;
+    case 0:
+      out->outcome = TxnObservation::Outcome::kAborted;
+      break;
+    default:
+      // No ack: either a crash (unknown) or an abort that crashed before
+      // notifying. Both are "unknown" to the client.
+      out->outcome = TxnObservation::Outcome::kUnknown;
+      break;
+  }
+}
+
+// Memory-level audit run after each iteration has quiesced: every alive
+// replica of every litmus variable must agree on visibility, version and
+// value, and no lock may be held except stray locks of failed
+// coordinators. Replica divergence is how double-lock-holder bugs (e.g.
+// Complicit Aborts) manifest even when the final primary values look
+// plausible.
+bool AuditReplicas(cluster::Cluster* cluster, store::TableId table,
+                   int iteration, size_t num_vars,
+                   const FailedIdBitset& failed_ids, std::string* error) {
+  const cluster::TableInfo& info = cluster->catalog().table(table);
+  for (Var v = 0; v < num_vars; ++v) {
+    const store::Key key = VarKey(iteration, v);
+    bool have_reference = false;
+    bool ref_visible = false;
+    uint64_t ref_version = 0;
+    uint64_t ref_value = 0;
+    for (const rdma::NodeId node : cluster->ReplicasFor(table, key)) {
+      if (!cluster->membership().IsMemoryAlive(node)) continue;
+      rdma::ProtectionDomain* pd = cluster->fabric().GetMemoryNode(node);
+      rdma::MemoryRegion* region = pd->GetRegion(info.region_rkeys[node]);
+      // Locate the key (control-path scan; this is the checker, not the
+      // protocol).
+      bool found = false;
+      uint64_t slot = info.layout.HomeSlot(HashKey(key));
+      for (uint64_t scanned = 0; scanned < info.layout.capacity();
+           ++scanned) {
+        const uint64_t slot_key =
+            DecodeFixed64(region->base() + info.layout.KeyOffset(slot));
+        if (slot_key == key) {
+          found = true;
+          break;
+        }
+        if (slot_key == store::kFreeKey) break;
+        slot = info.layout.NextSlot(slot);
+      }
+      bool visible = false;
+      uint64_t version = 0;
+      uint64_t value = 0;
+      if (found) {
+        const store::LockWord lock =
+            DecodeFixed64(region->base() + info.layout.LockOffset(slot));
+        const store::VersionWord vw =
+            DecodeFixed64(region->base() + info.layout.VersionOffset(slot));
+        if (store::LockHeld(lock) &&
+            !failed_ids.Test(store::LockOwner(lock))) {
+          *error = "audit: var " + std::to_string(v) + " on node " +
+                   std::to_string(node) + " locked by live coordinator " +
+                   std::to_string(store::LockOwner(lock)) +
+                   " after quiescence";
+          return false;
+        }
+        visible = store::ObjectVisible(vw);
+        version = store::VersionOf(vw);
+        value =
+            DecodeFixed64(region->base() + info.layout.ValueOffset(slot));
+      }
+      if (!visible) version = value = 0;  // Absent/invisible normalize.
+      if (!have_reference) {
+        have_reference = true;
+        ref_visible = visible;
+        ref_version = version;
+        ref_value = value;
+      } else if (visible != ref_visible || version != ref_version ||
+                 value != ref_value) {
+        *error = "audit: var " + std::to_string(v) +
+                 " replicas diverge (visible " +
+                 std::to_string(ref_visible) + "/" +
+                 std::to_string(visible) + ", version " +
+                 std::to_string(ref_version) + "/" +
+                 std::to_string(version) + ", value " +
+                 std::to_string(ref_value) + "/" + std::to_string(value) +
+                 ")";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
+  LitmusReport report;
+  report.spec_name = spec.name;
+
+  const uint32_t num_txns = static_cast<uint32_t>(spec.txns.size());
+  const uint32_t compute_nodes = num_txns + 1;  // +1 observer node
+
+  cluster::ClusterConfig cluster_config;
+  cluster_config.memory_nodes = config_.memory_nodes;
+  cluster_config.compute_nodes = compute_nodes;
+  cluster_config.replication = config_.replication;
+  cluster_config.net = config_.net;
+  cluster_config.log.slot_bytes = 512;
+  cluster_config.log.slots_per_coordinator = 8;
+  cluster_config.log.max_coordinators = static_cast<uint32_t>(
+      (config_.iterations + 2) * compute_nodes + 16);
+
+  cluster::Cluster cluster(cluster_config);
+  const store::TableId table = cluster.CreateTable(
+      "litmus", /*value_size=*/8,
+      static_cast<uint64_t>(config_.iterations + 1) * kVarStride);
+
+  // Preload every iteration's copy of the initialized variables.
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    for (Var v = 0; v < spec.initial.size(); ++v) {
+      if (!spec.initial[v].has_value()) continue;
+      char buf[8];
+      EncodeFixed64(buf, *spec.initial[v]);
+      PANDORA_CHECK(
+          cluster.LoadRow(table, VarKey(iteration, v), Slice(buf, 8)).ok());
+    }
+  }
+
+  txn::SystemGate gate;
+  recovery::RecoveryManagerConfig rm_config;
+  rm_config.mode = config_.txn.mode;
+  rm_config.fd = config_.fd;
+  recovery::RecoveryManager manager(&cluster, rm_config, &gate);
+  manager.Start();
+
+  Random rng(config_.seed);
+
+  // The checker sees one logical transaction per *run*: expand the spec.
+  const int runs = std::max(1, config_.runs_per_txn);
+  LitmusSpec expanded = spec;
+  expanded.txns.clear();
+  for (int r = 0; r < runs; ++r) {
+    for (const LitmusTxn& txn : spec.txns) {
+      LitmusTxn copy = txn;
+      copy.name = txn.name + "#" + std::to_string(r + 1);
+      expanded.txns.push_back(std::move(copy));
+    }
+  }
+  const SerializabilityChecker checker(expanded);
+
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    // Fresh coordinators (fresh ids) per iteration; txn i runs on compute
+    // node i, the observer on the last node.
+    std::vector<std::unique_ptr<txn::Coordinator>> coords;
+    NeverCrash no_crash;
+    for (uint32_t t = 0; t < num_txns; ++t) {
+      std::vector<uint16_t> ids;
+      PANDORA_CHECK(
+          manager.RegisterComputeNode(cluster.compute(t), 1, &ids).ok());
+      coords.push_back(std::make_unique<txn::Coordinator>(
+          &cluster, cluster.compute(t), ids[0], config_.txn, &gate));
+      coords.back()->set_crash_hook(&no_crash);
+    }
+
+    // Crash plan.
+    int victim = -1;
+    uint64_t recoveries_before = 0;
+    std::unique_ptr<CrashAtOccurrence> hook;
+    if (config_.crash_percent > 0 &&
+        rng.PercentTrue(config_.crash_percent)) {
+      victim = static_cast<int>(rng.Uniform(num_txns));
+      recoveries_before =
+          manager.recovery_count(cluster.compute_node_id(victim));
+      hook = std::make_unique<CrashAtOccurrence>(
+          static_cast<int>(1 + rng.Uniform(14)));
+      coords[victim]->set_crash_hook(hook.get());
+    }
+
+    // Run the spec's transactions concurrently; each thread repeats its
+    // program `runs` times. Observation order matches the expanded spec:
+    // run-major (run r of txn t sits at index r * num_txns + t).
+    std::vector<TxnObservation> observations(
+        static_cast<size_t>(runs) * num_txns);
+    std::vector<std::thread> threads;
+    std::atomic<bool> go{false};
+    for (uint32_t t = 0; t < num_txns; ++t) {
+      threads.emplace_back([&, t] {
+        // Start barrier: release every transaction at once so short
+        // programs actually overlap (racy interleavings are the whole
+        // point of a litmus test).
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        for (int r = 0; r < runs; ++r) {
+          ExecuteProgram(coords[t].get(), spec.txns[t], iteration, table,
+                         &observations[static_cast<size_t>(r) * num_txns +
+                                       t]);
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+
+    const bool crashed =
+        victim >= 0 &&
+        cluster.fabric().IsHalted(cluster.compute_node_id(victim));
+    if (crashed) {
+      report.crashes_injected++;
+      if (!manager.WaitForComputeRecovery(cluster.compute_node_id(victim),
+                                          5'000'000, recoveries_before)) {
+        report.violations++;
+        report.failures.push_back("iteration " +
+                                  std::to_string(iteration) +
+                                  ": recovery never completed");
+        cluster.RestartComputeNode(cluster.compute_node_id(victim));
+        continue;
+      }
+    }
+
+    // Observe the final application state from the observer node.
+    VarState final_state(spec.initial.size());
+    bool observed = false;
+    std::vector<uint16_t> observer_ids;
+    PANDORA_CHECK(manager
+                      .RegisterComputeNode(
+                          cluster.compute(compute_nodes - 1), 1,
+                          &observer_ids)
+                      .ok());
+    txn::Coordinator reader(&cluster, cluster.compute(compute_nodes - 1),
+                            observer_ids[0], config_.txn, &gate);
+    std::string observe_error;
+    for (int attempt = 0; attempt < 10 && !observed; ++attempt) {
+      const Status begin_status = reader.Begin();
+      if (!begin_status.ok()) {
+        if (observe_error.empty()) {
+          observe_error = "begin: " + begin_status.ToString();
+        }
+        SleepForMicros(200);
+        continue;
+      }
+      bool ok = true;
+      for (Var v = 0; v < spec.initial.size() && ok; ++v) {
+        std::string value;
+        const Status status = reader.Read(table, VarKey(iteration, v),
+                                          &value);
+        if (status.ok()) {
+          final_state[v] = DecodeFixed64(value.data());
+        } else if (status.IsNotFound()) {
+          final_state[v] = std::nullopt;
+        } else {
+          if (observe_error.empty()) {
+            observe_error = "read var " + std::to_string(v) + ": " +
+                            status.ToString();
+          }
+          ok = false;
+        }
+      }
+      if (ok) {
+        const Status commit_status = reader.Commit();
+        if (commit_status.ok()) {
+          observed = true;
+        } else if (observe_error.empty()) {
+          observe_error = "commit: " + commit_status.ToString();
+        }
+      }
+      if (!observed && reader.in_txn()) reader.Abort();
+      SleepForMicros(200);
+    }
+
+    if (!observed) {
+      if (observe_error.find("PermissionDenied") != std::string::npos) {
+        // The observer was repeatedly fenced (false positives under CPU
+        // pressure); no verdict about the protocol is possible.
+        report.inconclusive++;
+      } else {
+        report.violations++;
+        if (report.failures.size() < 10) {
+          report.failures.push_back(
+              "iteration " + std::to_string(iteration) +
+              ": final state unreadable (" + observe_error + ")");
+        }
+      }
+    } else {
+      std::string explanation;
+      if (!checker.Check(observations, final_state, &explanation)) {
+        report.violations++;
+        if (report.failures.size() < 10) {
+          report.failures.push_back("iteration " +
+                                    std::to_string(iteration) + ": " +
+                                    explanation);
+        }
+      }
+    }
+
+    for (const TxnObservation& obs : observations) {
+      switch (obs.outcome) {
+        case TxnObservation::Outcome::kCommitted:
+          report.committed++;
+          break;
+        case TxnObservation::Outcome::kAborted:
+          report.aborted++;
+          break;
+        case TxnObservation::Outcome::kUnknown:
+          report.unknown++;
+          break;
+      }
+    }
+
+    // End of iteration: wait for any in-flight (possibly false-positive)
+    // recoveries, then restore every compute node's links so the next
+    // iteration starts from a healthy membership. Restoring only after
+    // recoveries completed preserves Cor1.
+    {
+      const uint64_t deadline = NowMicros() + 5'000'000;
+      while (manager.pending_recoveries() > 0 && NowMicros() < deadline) {
+        SleepForMicros(200);
+      }
+    }
+    for (uint32_t n = 0; n < compute_nodes; ++n) {
+      cluster.RestartComputeNode(cluster.compute_node_id(n));
+    }
+
+    // Memory-level invariants: replicas must agree, locks must be free or
+    // stray.
+    std::string audit_error;
+    if (!AuditReplicas(&cluster, table, iteration, spec.initial.size(),
+                       manager.fd().failed_ids(), &audit_error)) {
+      report.violations++;
+      if (report.failures.size() < 10) {
+        report.failures.push_back("iteration " + std::to_string(iteration) +
+                                  ": " + audit_error);
+      }
+    }
+    report.iterations++;
+  }
+
+  manager.Stop();
+  return report;
+}
+
+std::vector<LitmusReport> LitmusHarness::RunAll() {
+  std::vector<LitmusReport> reports;
+  for (const LitmusSpec& spec : AllLitmusSpecs()) {
+    reports.push_back(Run(spec));
+  }
+  return reports;
+}
+
+}  // namespace litmus
+}  // namespace pandora

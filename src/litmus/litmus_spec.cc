@@ -1,0 +1,236 @@
+#include "litmus/litmus_spec.h"
+
+#include "common/random.h"
+
+namespace pandora {
+namespace litmus {
+
+namespace {
+
+constexpr Var kX = 0;
+constexpr Var kY = 1;
+constexpr Var kZ = 2;
+constexpr Var kW = 3;
+
+}  // namespace
+
+LitmusSpec Litmus1() {
+  // Figure 5(a): T1 writes X=V1, Y=V1; T2 writes X=V2, Y=V2. Any
+  // serializable outcome has X == Y.
+  LitmusSpec spec;
+  spec.name = "litmus-1";
+  spec.checks = "direct-write cycles (Figure 5a)";
+  spec.initial = {0, 0};
+  LitmusTxn t1{"T1",
+               {LitmusOp::StoreConst(kX, 1), LitmusOp::StoreConst(kY, 1)}};
+  LitmusTxn t2{"T2",
+               {LitmusOp::StoreConst(kX, 2), LitmusOp::StoreConst(kY, 2)}};
+  // A third writer widens the window for lock-discipline bugs (a lock
+  // wrongly released by T2's abort path can then be re-taken by T3 while
+  // T1 still holds it logically — the Complicit Aborts manifestation).
+  LitmusTxn t3{"T3",
+               {LitmusOp::StoreConst(kX, 3), LitmusOp::StoreConst(kY, 3)}};
+  spec.txns = {t1, t2, t3};
+  return spec;
+}
+
+LitmusSpec Litmus1Inserts() {
+  // Litmus 1 variant replacing writes with inserts (§5.1 "We also ran
+  // variants of this litmus test, replacing writes with inserts and
+  // deletes") — the variant that exposed the Missing Actions bug.
+  LitmusSpec spec;
+  spec.name = "litmus-1-inserts";
+  spec.checks = "direct-write cycles with inserts";
+  spec.initial = {std::nullopt, std::nullopt};
+  LitmusTxn t1{"T1",
+               {LitmusOp::InsertConst(kX, 1), LitmusOp::InsertConst(kY, 1)}};
+  LitmusTxn t2{"T2",
+               {LitmusOp::InsertConst(kX, 2), LitmusOp::InsertConst(kY, 2)}};
+  spec.txns = {t1, t2};
+  return spec;
+}
+
+LitmusSpec Litmus1Deletes() {
+  LitmusSpec spec;
+  spec.name = "litmus-1-deletes";
+  spec.checks = "direct-write cycles with deletes";
+  spec.initial = {7, 7};
+  LitmusTxn t1{"T1",
+               {LitmusOp::StoreConst(kX, 1), LitmusOp::StoreConst(kY, 1)}};
+  LitmusTxn t2{"T2", {LitmusOp::Delete(kX), LitmusOp::Delete(kY)}};
+  spec.txns = {t1, t2};
+  return spec;
+}
+
+LitmusSpec Litmus2() {
+  // Figure 5(b): T1 reads X and writes Y=x+1; T2 reads Y and writes
+  // X=y+1. The both-read-old outcome (X=1, Y=1) is not serializable.
+  LitmusSpec spec;
+  spec.name = "litmus-2";
+  spec.checks = "read-write cycles (Figure 5b)";
+  spec.initial = {0, 0};
+  LitmusTxn t1{"T1",
+               {LitmusOp::Load(0, kX), LitmusOp::StoreRegPlus(kY, 0, 1)}};
+  LitmusTxn t2{"T2",
+               {LitmusOp::Load(0, kY), LitmusOp::StoreRegPlus(kX, 0, 1)}};
+  spec.txns = {t1, t2};
+  return spec;
+}
+
+LitmusSpec Litmus3() {
+  // Figure 5(c): T1: x=X; X=x+1; Y=x+1. T2: x=X; X=x+1; Z=x+1. T3/T4 are
+  // read-only observers; any observation must fit some serial order
+  // (which implies X >= Y and X >= Z at every serial point).
+  LitmusSpec spec;
+  spec.name = "litmus-3";
+  spec.checks = "indirect-write cycles (Figure 5c)";
+  spec.initial = {0, 0, 0};
+  LitmusTxn t1{"T1",
+               {LitmusOp::Load(0, kX), LitmusOp::StoreRegPlus(kX, 0, 1),
+                LitmusOp::StoreRegPlus(kY, 0, 1)}};
+  LitmusTxn t2{"T2",
+               {LitmusOp::Load(0, kX), LitmusOp::StoreRegPlus(kX, 0, 1),
+                LitmusOp::StoreRegPlus(kZ, 0, 1)}};
+  LitmusTxn t3{"T3", {LitmusOp::Load(0, kX), LitmusOp::Load(1, kY)}};
+  LitmusTxn t4{"T4", {LitmusOp::Load(0, kX), LitmusOp::Load(1, kZ)}};
+  spec.txns = {t1, t2, t3, t4};
+  return spec;
+}
+
+LitmusSpec CompoundLitmus() {
+  // A stretched combination of litmus 1 and 3 over four variables (§5
+  // "Compound Tests": basic tests stretched/combined).
+  LitmusSpec spec;
+  spec.name = "compound";
+  spec.checks = "combined direct/indirect cycles over 4 variables";
+  spec.initial = {0, 0, 0, 0};
+  LitmusTxn t1{"T1",
+               {LitmusOp::Load(0, kX), LitmusOp::StoreRegPlus(kX, 0, 1),
+                LitmusOp::StoreRegPlus(kY, 0, 1),
+                LitmusOp::StoreConst(kW, 1)}};
+  LitmusTxn t2{"T2",
+               {LitmusOp::Load(0, kX), LitmusOp::StoreRegPlus(kX, 0, 1),
+                LitmusOp::StoreRegPlus(kZ, 0, 1),
+                LitmusOp::StoreConst(kW, 2)}};
+  LitmusTxn t3{"T3",
+               {LitmusOp::Load(0, kY), LitmusOp::Load(1, kZ)}};
+  spec.txns = {t1, t2, t3};
+  return spec;
+}
+
+LitmusSpec Litmus3AbortLogging() {
+  // Targets the C2 logging bugs (Lost Decision / Logging without locking):
+  // T1 locks-and-logs Y and Z, then conflicts on X and aborts; T2 commits
+  // X and Y afterwards. If T1's logs survive the abort (or name objects it
+  // never locked), a later crash of T1's server makes recovery "roll back"
+  // T2's committed updates.
+  LitmusSpec spec;
+  spec.name = "litmus-3-abort-logging";
+  spec.checks = "indirect-write cycles via aborted-but-logged txns";
+  spec.initial = {0, 0, 0};
+  LitmusTxn t1{"T1",
+               {LitmusOp::StoreConst(kY, 1), LitmusOp::StoreConst(kZ, 1),
+                LitmusOp::StoreConst(kX, 1)}};
+  LitmusTxn t2{"T2",
+               {LitmusOp::StoreConst(kX, 2), LitmusOp::StoreConst(kY, 2)}};
+  spec.txns = {t1, t2};
+  return spec;
+}
+
+LitmusSpec Litmus1PartialOverlap() {
+  // Direct-write test where the transactions overlap on only one
+  // variable. T1 locks-and-logs Y first; if its log for Z is written
+  // before Z's lock is taken (the Logging-without-locking corner case), a
+  // crash in between leaves a log entry for an object T2 is free to
+  // commit — which a buggy recovery then "rolls back".
+  LitmusSpec spec;
+  spec.name = "litmus-1-partial-overlap";
+  spec.checks = "direct-write with partial write-set overlap";
+  spec.initial = {0, 0, 0};
+  LitmusTxn t1{"T1",
+               {LitmusOp::StoreConst(kY, 1), LitmusOp::StoreConst(kZ, 1)}};
+  LitmusTxn t2{"T2", {LitmusOp::StoreConst(kZ, 2)}};
+  spec.txns = {t1, t2};
+  return spec;
+}
+
+LitmusSpec Litmus1LockRelease() {
+  // Write-only transactions with a single contended variable. T2's abort
+  // path is the trigger: with the Complicit Aborts bug it releases X's
+  // lock even though it never acquired it, letting T3 lock X while T1
+  // still holds it logically — two writers applying under "the same" lock
+  // diverge X's replicas.
+  LitmusSpec spec;
+  spec.name = "litmus-1-lock-release";
+  spec.checks = "direct-write cycles via abort-path lock release";
+  spec.initial = {0, 0};
+  LitmusTxn t1{"T1",
+               {LitmusOp::StoreConst(kX, 1), LitmusOp::StoreConst(kY, 1)}};
+  LitmusTxn t2{"T2", {LitmusOp::StoreConst(kX, 2)}};
+  LitmusTxn t3{"T3", {LitmusOp::StoreConst(kX, 3)}};
+  spec.txns = {t1, t2, t3};
+  return spec;
+}
+
+LitmusSpec RandomLitmusSpec(uint64_t seed) {
+  Random rng(seed * 2654435761ULL + 17);
+  LitmusSpec spec;
+  spec.name = "fuzz-" + std::to_string(seed);
+  spec.checks = "randomized compound cycles";
+
+  const uint32_t num_vars = 2 + static_cast<uint32_t>(rng.Uniform(3));
+  spec.initial.resize(num_vars);
+  for (Var v = 0; v < num_vars; ++v) {
+    // Most variables preloaded; some absent (exercises inserts).
+    spec.initial[v] = rng.PercentTrue(80)
+                          ? std::optional<uint64_t>(rng.Uniform(5))
+                          : std::nullopt;
+  }
+
+  const uint32_t num_txns = 2 + static_cast<uint32_t>(rng.Uniform(3));
+  uint64_t next_const = 10;  // Distinct constants aid the checker.
+  for (uint32_t t = 0; t < num_txns; ++t) {
+    LitmusTxn txn;
+    txn.name = "F" + std::to_string(t + 1);
+    bool loaded[4] = {false, false, false, false};
+    const uint32_t num_ops = 2 + static_cast<uint32_t>(rng.Uniform(3));
+    for (uint32_t o = 0; o < num_ops; ++o) {
+      const Var var = static_cast<Var>(rng.Uniform(num_vars));
+      switch (rng.Uniform(5)) {
+        case 0:
+          txn.ops.push_back(LitmusOp::Load(o % 2, var));
+          loaded[o % 2] = true;
+          break;
+        case 1:
+          txn.ops.push_back(LitmusOp::StoreConst(var, next_const++));
+          break;
+        case 2:
+          if (loaded[0]) {
+            txn.ops.push_back(LitmusOp::StoreRegPlus(var, 0, 1));
+          } else {
+            txn.ops.push_back(LitmusOp::Load(0, var));
+            loaded[0] = true;
+          }
+          break;
+        case 3:
+          txn.ops.push_back(LitmusOp::InsertConst(var, next_const++));
+          break;
+        default:
+          txn.ops.push_back(LitmusOp::Delete(var));
+          break;
+      }
+    }
+    spec.txns.push_back(std::move(txn));
+  }
+  return spec;
+}
+
+std::vector<LitmusSpec> AllLitmusSpecs() {
+  return {Litmus1(),           Litmus1Inserts(), Litmus1Deletes(),
+          Litmus2(),           Litmus3(),        Litmus3AbortLogging(),
+          Litmus1PartialOverlap(),               Litmus1LockRelease(),
+          CompoundLitmus()};
+}
+
+}  // namespace litmus
+}  // namespace pandora

@@ -1,0 +1,108 @@
+#ifndef PANDORA_LITMUS_LITMUS_SPEC_H_
+#define PANDORA_LITMUS_LITMUS_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pandora {
+namespace litmus {
+
+/// Variables are small indices (X=0, Y=1, Z=2, ...) mapped to fresh store
+/// keys on every litmus iteration.
+using Var = uint32_t;
+
+/// One step of a litmus transaction. Programs use two registers so every
+/// test in Figure 5 (and the compound extensions) can be expressed.
+struct LitmusOp {
+  enum class Kind {
+    kLoad,          // reg[r] = read(src); aborts txn on conflict
+    kStoreConst,    // write(dst, value)
+    kStoreRegPlus,  // write(dst, reg[r] + value)
+    kInsertConst,   // insert(dst, value)   (litmus-1 insert variant)
+    kDelete,        // delete(dst)          (litmus-1 delete variant)
+  };
+
+  Kind kind = Kind::kLoad;
+  Var dst = 0;
+  Var src = 0;
+  uint32_t reg = 0;
+  uint64_t value = 0;
+
+  static LitmusOp Load(uint32_t reg, Var src) {
+    LitmusOp op;
+    op.kind = Kind::kLoad;
+    op.reg = reg;
+    op.src = src;
+    return op;
+  }
+  static LitmusOp StoreConst(Var dst, uint64_t value) {
+    LitmusOp op;
+    op.kind = Kind::kStoreConst;
+    op.dst = dst;
+    op.value = value;
+    return op;
+  }
+  static LitmusOp StoreRegPlus(Var dst, uint32_t reg, uint64_t delta) {
+    LitmusOp op;
+    op.kind = Kind::kStoreRegPlus;
+    op.dst = dst;
+    op.reg = reg;
+    op.value = delta;
+    return op;
+  }
+  static LitmusOp InsertConst(Var dst, uint64_t value) {
+    LitmusOp op;
+    op.kind = Kind::kInsertConst;
+    op.dst = dst;
+    op.value = value;
+    return op;
+  }
+  static LitmusOp Delete(Var dst) {
+    LitmusOp op;
+    op.kind = Kind::kDelete;
+    op.dst = dst;
+    return op;
+  }
+};
+
+/// One litmus transaction: a short program run by one coordinator.
+struct LitmusTxn {
+  std::string name;
+  std::vector<LitmusOp> ops;
+};
+
+/// A litmus test: initial variable values (absent = not preloaded), the
+/// concurrent transactions, and a human-readable description.
+struct LitmusSpec {
+  std::string name;
+  std::string checks;  // e.g. "direct-write cycles (Figure 5a)"
+  std::vector<std::optional<uint64_t>> initial;  // indexed by Var
+  std::vector<LitmusTxn> txns;
+};
+
+/// The three basic litmus tests of Figure 5 plus variants.
+LitmusSpec Litmus1();          // direct-write cycles: T1/T2 write {X,Y}
+LitmusSpec Litmus1Inserts();   // litmus 1 with inserts instead of writes
+LitmusSpec Litmus1Deletes();   // litmus 1 where T2 deletes {X,Y}
+LitmusSpec Litmus2();          // read-write cycles
+LitmusSpec Litmus3();          // indirect-write cycles (+ read-only T3/T4)
+LitmusSpec Litmus3AbortLogging();  // aborted-but-logged txns (C2 bugs)
+LitmusSpec Litmus1PartialOverlap();  // log-without-lock corner case
+LitmusSpec Litmus1LockRelease();     // complicit-abort corner case
+LitmusSpec CompoundLitmus();   // stretched/combined variant (§5 "Compound")
+
+/// All of the above.
+std::vector<LitmusSpec> AllLitmusSpecs();
+
+/// Randomized compound litmus generator (§5 "Compound Tests", generalized
+/// into a fuzzer): 2-4 transactions of 2-4 operations over 2-4 variables,
+/// mixing loads, constant stores, read-dependent stores, inserts and
+/// deletes. Deterministic for a given seed.
+LitmusSpec RandomLitmusSpec(uint64_t seed);
+
+}  // namespace litmus
+}  // namespace pandora
+
+#endif  // PANDORA_LITMUS_LITMUS_SPEC_H_

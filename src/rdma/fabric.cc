@@ -1,0 +1,76 @@
+#include "rdma/fabric.h"
+
+#include "common/logging.h"
+
+namespace pandora {
+namespace rdma {
+
+Fabric::Fabric(const NetworkConfig& config)
+    : net_(config),
+      halted_(std::make_unique<std::array<std::atomic<bool>, kMaxNodes>>()) {
+  for (auto& flag : *halted_) flag.store(false, std::memory_order_relaxed);
+}
+
+ProtectionDomain* Fabric::AttachMemoryNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, pd] : memory_nodes_) {
+    PANDORA_CHECK(id != node);
+  }
+  memory_nodes_.emplace_back(node, std::make_unique<ProtectionDomain>(node));
+  return memory_nodes_.back().second.get();
+}
+
+ProtectionDomain* Fabric::GetMemoryNode(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, pd] : memory_nodes_) {
+    if (id == node) return pd.get();
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> Fabric::MemoryNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> out;
+  out.reserve(memory_nodes_.size());
+  for (const auto& [id, pd] : memory_nodes_) out.push_back(id);
+  return out;
+}
+
+std::unique_ptr<QueuePair> Fabric::CreateQueuePair(NodeId src,
+                                                   NodeId dst) const {
+  ProtectionDomain* pd = GetMemoryNode(dst);
+  PANDORA_CHECK(pd != nullptr);
+  return std::make_unique<QueuePair>(src, pd, &net_, halted_flag(src));
+}
+
+void Fabric::HaltNode(NodeId node) {
+  (*halted_)[node].store(true, std::memory_order_release);
+  // A halted memory node also stops serving verbs.
+  if (ProtectionDomain* pd = GetMemoryNode(node)) pd->Halt();
+}
+
+void Fabric::ResumeNode(NodeId node) {
+  (*halted_)[node].store(false, std::memory_order_release);
+  if (ProtectionDomain* pd = GetMemoryNode(node)) pd->Resume();
+}
+
+bool Fabric::IsHalted(NodeId node) const {
+  return (*halted_)[node].load(std::memory_order_acquire);
+}
+
+const std::atomic<bool>* Fabric::halted_flag(NodeId node) const {
+  return &(*halted_)[node];
+}
+
+void Fabric::RevokeNodeEverywhere(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, pd] : memory_nodes_) pd->RevokeNode(node);
+}
+
+void Fabric::RestoreNodeEverywhere(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, pd] : memory_nodes_) pd->RestoreNode(node);
+}
+
+}  // namespace rdma
+}  // namespace pandora

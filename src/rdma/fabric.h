@@ -1,0 +1,73 @@
+#ifndef PANDORA_RDMA_FABRIC_H_
+#define PANDORA_RDMA_FABRIC_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "rdma/network_model.h"
+#include "rdma/protection_domain.h"
+#include "rdma/queue_pair.h"
+#include "rdma/types.h"
+
+namespace pandora {
+namespace rdma {
+
+/// The simulated RDMA network: a registry of memory-server protection
+/// domains, the shared latency model, and per-node liveness flags used to
+/// emulate compute-server crashes.
+///
+/// Node-id space is shared between compute and memory servers; creating a
+/// queue pair is the control-path "connection setup" the paper permits RPCs
+/// for (§1.1).
+class Fabric {
+ public:
+  explicit Fabric(const NetworkConfig& config = NetworkConfig());
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const NetworkModel& network() const { return net_; }
+
+  /// Attaches a memory server and returns its protection domain.
+  ProtectionDomain* AttachMemoryNode(NodeId node);
+
+  /// Returns the protection domain of a memory node, or nullptr.
+  ProtectionDomain* GetMemoryNode(NodeId node) const;
+
+  /// All currently attached memory nodes.
+  std::vector<NodeId> MemoryNodes() const;
+
+  /// Creates an RC queue pair from compute node `src` to memory node `dst`.
+  /// Verbs on the QP fail with Unavailable once `src` is halted.
+  std::unique_ptr<QueuePair> CreateQueuePair(NodeId src, NodeId dst) const;
+
+  /// --- Crash emulation -------------------------------------------------
+  /// Halting a node makes every verb it subsequently issues fail, exactly
+  /// as if the process died between two RDMA operations. Memory state is
+  /// left as the last landed verb left it.
+  void HaltNode(NodeId node);
+  void ResumeNode(NodeId node);
+  bool IsHalted(NodeId node) const;
+  const std::atomic<bool>* halted_flag(NodeId node) const;
+
+  /// Control-path broadcast: revokes `node`'s rights on every memory
+  /// server (active-link termination, §3.2.2 step 2).
+  void RevokeNodeEverywhere(NodeId node);
+  void RestoreNodeEverywhere(NodeId node);
+
+ private:
+  NetworkModel net_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<NodeId, std::unique_ptr<ProtectionDomain>>>
+      memory_nodes_;
+  std::unique_ptr<std::array<std::atomic<bool>, kMaxNodes>> halted_;
+};
+
+}  // namespace rdma
+}  // namespace pandora
+
+#endif  // PANDORA_RDMA_FABRIC_H_

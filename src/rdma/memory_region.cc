@@ -1,0 +1,19 @@
+#include "rdma/memory_region.h"
+
+#include <cstring>
+#include <utility>
+
+namespace pandora {
+namespace rdma {
+
+MemoryRegion::MemoryRegion(RKey rkey, size_t size, std::string name)
+    : rkey_(rkey), size_(size), name_(std::move(name)) {
+  // operator new[] for char returns memory aligned for max_align_t (>= 16),
+  // which satisfies the 8-byte alignment the atomic accessors require for
+  // any 8-byte-aligned offset within the region.
+  base_ = std::make_unique<char[]>(size);
+  std::memset(base_.get(), 0, size);
+}
+
+}  // namespace rdma
+}  // namespace pandora

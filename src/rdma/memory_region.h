@@ -1,0 +1,51 @@
+#ifndef PANDORA_RDMA_MEMORY_REGION_H_
+#define PANDORA_RDMA_MEMORY_REGION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rdma/types.h"
+
+namespace pandora {
+namespace rdma {
+
+/// A registered, RDMA-accessible memory region owned by a memory server.
+///
+/// The buffer is 64-byte aligned and zero-initialized. Compute servers can
+/// only touch it through QueuePair verbs carrying this region's rkey — never
+/// through a raw pointer — which is what makes the simulation faithfully
+/// one-sided.
+class MemoryRegion {
+ public:
+  MemoryRegion(RKey rkey, size_t size, std::string name);
+
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+  RKey rkey() const { return rkey_; }
+  size_t size() const { return size_; }
+  const std::string& name() const { return name_; }
+
+  /// Raw base pointer. Reserved for the owning memory server's control path
+  /// (initial data load, region teardown) — the data path must go through
+  /// verbs.
+  char* base() { return base_.get(); }
+  const char* base() const { return base_.get(); }
+
+  bool Contains(uint64_t offset, size_t len) const {
+    return offset <= size_ && len <= size_ - offset;
+  }
+
+ private:
+  RKey rkey_;
+  size_t size_;
+  std::string name_;
+  std::unique_ptr<char[]> base_;
+};
+
+}  // namespace rdma
+}  // namespace pandora
+
+#endif  // PANDORA_RDMA_MEMORY_REGION_H_

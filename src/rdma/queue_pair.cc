@@ -1,0 +1,119 @@
+#include "rdma/queue_pair.h"
+
+#include "common/clock.h"
+
+namespace pandora {
+namespace rdma {
+
+Status QueuePair::CheckHalted() const {
+  if (src_halted_ != nullptr &&
+      src_halted_->load(std::memory_order_acquire)) {
+    return Status::Unavailable("compute node halted");
+  }
+  return Status::OK();
+}
+
+void QueuePair::Wait(uint64_t rtt_ns) const {
+  if (net_->latency_enabled()) SpinForNanos(rtt_ns);
+}
+
+Status QueuePair::Read(RKey rkey, uint64_t offset, void* dst, size_t len) {
+  uint64_t rtt;
+  PANDORA_RETURN_NOT_OK(PostRead(rkey, offset, dst, len, &rtt));
+  Wait(rtt);
+  return Status::OK();
+}
+
+Status QueuePair::Write(RKey rkey, uint64_t offset, const void* src,
+                        size_t len) {
+  uint64_t rtt;
+  PANDORA_RETURN_NOT_OK(PostWrite(rkey, offset, src, len, &rtt));
+  Wait(rtt);
+  return Status::OK();
+}
+
+Status QueuePair::CompareSwap(RKey rkey, uint64_t offset, uint64_t expected,
+                              uint64_t desired, uint64_t* observed) {
+  uint64_t rtt;
+  PANDORA_RETURN_NOT_OK(
+      PostCompareSwap(rkey, offset, expected, desired, observed, &rtt));
+  Wait(rtt);
+  return Status::OK();
+}
+
+Status QueuePair::FetchAdd(RKey rkey, uint64_t offset, uint64_t delta,
+                           uint64_t* old_value) {
+  PANDORA_RETURN_NOT_OK(CheckHalted());
+  PANDORA_RETURN_NOT_OK(
+      remote_->ExecuteFetchAdd(src_, rkey, offset, delta, old_value));
+  Wait(net_->RttNanos(sizeof(uint64_t), sizeof(uint64_t)));
+  return Status::OK();
+}
+
+Status QueuePair::PostRead(RKey rkey, uint64_t offset, void* dst, size_t len,
+                           uint64_t* rtt_ns) {
+  PANDORA_RETURN_NOT_OK(CheckHalted());
+  PANDORA_RETURN_NOT_OK(remote_->ExecuteRead(src_, rkey, offset, dst, len));
+  *rtt_ns = net_->RttNanos(/*request_bytes=*/0, /*response_bytes=*/len);
+  return Status::OK();
+}
+
+Status QueuePair::PostWrite(RKey rkey, uint64_t offset, const void* src,
+                            size_t len, uint64_t* rtt_ns) {
+  PANDORA_RETURN_NOT_OK(CheckHalted());
+  PANDORA_RETURN_NOT_OK(remote_->ExecuteWrite(src_, rkey, offset, src, len));
+  *rtt_ns = net_->RttNanos(/*request_bytes=*/len, /*response_bytes=*/0);
+  return Status::OK();
+}
+
+Status QueuePair::PostCompareSwap(RKey rkey, uint64_t offset,
+                                  uint64_t expected, uint64_t desired,
+                                  uint64_t* observed, uint64_t* rtt_ns) {
+  PANDORA_RETURN_NOT_OK(CheckHalted());
+  PANDORA_RETURN_NOT_OK(remote_->ExecuteCompareSwap(src_, rkey, offset,
+                                                    expected, desired,
+                                                    observed));
+  *rtt_ns = net_->RttNanos(sizeof(uint64_t), sizeof(uint64_t));
+  return Status::OK();
+}
+
+void VerbBatch::Record(const Status& status, uint64_t rtt_ns) {
+  ++count_;
+  if (!status.ok() && first_error_.ok()) first_error_ = status;
+  if (rtt_ns > max_rtt_ns_) max_rtt_ns_ = rtt_ns;
+}
+
+void VerbBatch::Read(QueuePair* qp, RKey rkey, uint64_t offset, void* dst,
+                     size_t len) {
+  uint64_t rtt = 0;
+  const Status status = qp->PostRead(rkey, offset, dst, len, &rtt);
+  Record(status, rtt);
+}
+
+void VerbBatch::Write(QueuePair* qp, RKey rkey, uint64_t offset,
+                      const void* src, size_t len) {
+  uint64_t rtt = 0;
+  const Status status = qp->PostWrite(rkey, offset, src, len, &rtt);
+  Record(status, rtt);
+}
+
+void VerbBatch::CompareSwap(QueuePair* qp, RKey rkey, uint64_t offset,
+                            uint64_t expected, uint64_t desired,
+                            uint64_t* observed) {
+  uint64_t rtt = 0;
+  const Status status =
+      qp->PostCompareSwap(rkey, offset, expected, desired, observed, &rtt);
+  Record(status, rtt);
+}
+
+Status VerbBatch::Execute() {
+  if (max_rtt_ns_ > 0) SpinForNanos(max_rtt_ns_);
+  Status result = first_error_;
+  first_error_ = Status::OK();
+  max_rtt_ns_ = 0;
+  count_ = 0;
+  return result;
+}
+
+}  // namespace rdma
+}  // namespace pandora

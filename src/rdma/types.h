@@ -1,0 +1,36 @@
+#ifndef PANDORA_RDMA_TYPES_H_
+#define PANDORA_RDMA_TYPES_H_
+
+#include <cstdint>
+
+namespace pandora {
+namespace rdma {
+
+/// Identifies a server (compute or memory) attached to the fabric.
+using NodeId = uint16_t;
+
+/// Remote key naming a registered memory region within a protection domain,
+/// as in the ibverbs API.
+using RKey = uint32_t;
+
+constexpr NodeId kInvalidNodeId = 0xffff;
+constexpr RKey kInvalidRKey = 0xffffffff;
+
+/// Maximum number of fabric-attached nodes the simulator supports. Bounds
+/// the revocation bitset in each protection domain.
+constexpr uint32_t kMaxNodes = 4096;
+
+/// Verb opcodes, mirroring the one-sided subset of ibverbs that a DKVS can
+/// use (§2.1): Send/Receive exist on real NICs but are RPC machinery and are
+/// deliberately absent from the data-path API.
+enum class Opcode : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kCompareSwap = 2,
+  kFetchAdd = 3,
+};
+
+}  // namespace rdma
+}  // namespace pandora
+
+#endif  // PANDORA_RDMA_TYPES_H_

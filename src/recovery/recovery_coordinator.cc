@@ -1,0 +1,366 @@
+#include "recovery/recovery_coordinator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/logging.h"
+#include "store/object_header.h"
+#include "store/remote_object.h"
+#include "txn/log_writer.h"
+
+namespace pandora {
+namespace recovery {
+
+void RecoveryStats::Add(const RecoveryStats& other) {
+  log_bytes_read += other.log_bytes_read;
+  logged_txns += other.logged_txns;
+  lock_intents += other.lock_intents;
+  rolled_forward += other.rolled_forward;
+  rolled_back += other.rolled_back;
+  torn_records += other.torn_records;
+  locks_released += other.locks_released;
+  objects_restored += other.objects_restored;
+  slots_scanned += other.slots_scanned;
+  log_recovery_ns += other.log_recovery_ns;
+  scan_ns += other.scan_ns;
+}
+
+RecoveryCoordinator::RecoveryCoordinator(cluster::Cluster* cluster)
+    : cluster_(cluster) {
+  // The RC runs on the service node; its QPs are set up on the control
+  // path like any other connection.
+  const rdma::NodeId self = cluster->service_node_id();
+  qps_.resize(cluster->num_memory_nodes());
+  for (uint32_t m = 0; m < cluster->num_memory_nodes(); ++m) {
+    qps_[m] = cluster->fabric().CreateQueuePair(
+        self, cluster->memory_node_id(m));
+  }
+}
+
+Status RecoveryCoordinator::CollectRecords(
+    uint16_t coord_id, rdma::NodeId server,
+    std::vector<store::LogRecord>* records, RecoveryStats* stats) {
+  const store::LogLayout& layout = cluster_->catalog().log_layout();
+  const uint64_t area = layout.CoordinatorAreaSize();
+  area_buf_.resize(area);
+  // One big one-sided read per log server (§3.2.2 "F+1 Log Reads": each
+  // RDMA read returns the coordinator's whole contiguous log area).
+  PANDORA_RETURN_NOT_OK(qp(server)->Read(
+      cluster_->catalog().log_rkey(server),
+      layout.CoordinatorBase(coord_id), area_buf_.data(), area));
+  stats->log_bytes_read += area;
+
+  const uint32_t slot_bytes = layout.config().slot_bytes;
+  for (uint32_t s = 0; s < layout.config().slots_per_coordinator; ++s) {
+    store::LogRecord record;
+    const Status status = store::ParseLogRecord(
+        area_buf_.data() + static_cast<uint64_t>(s) * slot_bytes,
+        slot_bytes, &record);
+    if (status.ok()) {
+      if (record.coord_id == coord_id) records->push_back(std::move(record));
+      continue;
+    }
+    if (status.IsNotFound()) continue;  // Empty or truncated slot.
+    // Torn write: the coordinator died mid-log-write. The transaction
+    // cannot have applied any update (validation completes only after the
+    // log write), so ignoring the record is exactly right — its locks are
+    // stray and will be stolen / scanned.
+    stats->torn_records++;
+  }
+  return Status::OK();
+}
+
+Status RecoveryCoordinator::ResolveSlot(store::TableId table,
+                                        store::Key key, rdma::NodeId node,
+                                        uint64_t* slot, bool* found) {
+  if (const auto cached = cluster_->addresses().Lookup(table, node, key)) {
+    *slot = *cached;
+    *found = true;
+    return Status::OK();
+  }
+  const cluster::TableInfo& info = cluster_->catalog().table(table);
+  store::SlotState state;
+  const Status status = store::FindSlotByProbe(
+      qp(node), info.region_rkeys[node], info.layout, key, &state);
+  if (status.IsNotFound()) {
+    *found = false;
+    return Status::OK();
+  }
+  PANDORA_RETURN_NOT_OK(status);
+  *slot = state.slot;
+  *found = true;
+  cluster_->addresses().InsertOverlay(table, node, key, state.slot);
+  return Status::OK();
+}
+
+Status RecoveryCoordinator::ReleaseObjectLocks(uint16_t coord_id,
+                                               store::TableId table,
+                                               store::Key key,
+                                               RecoveryStats* stats) {
+  const cluster::TableInfo& info = cluster_->catalog().table(table);
+  const store::LockWord theirs = store::MakeLock(coord_id);
+  for (const rdma::NodeId node : cluster_->ReplicasFor(table, key)) {
+    if (!cluster_->membership().IsMemoryAlive(node)) continue;
+    uint64_t slot = 0;
+    bool found = false;
+    PANDORA_RETURN_NOT_OK(ResolveSlot(table, key, node, &slot, &found));
+    if (!found) continue;
+    uint64_t observed = 0;
+    PANDORA_RETURN_NOT_OK(
+        qp(node)->CompareSwap(info.region_rkeys[node],
+                              info.layout.LockOffset(slot), theirs,
+                              store::kUnlocked, &observed));
+    if (observed == theirs) stats->locks_released++;
+  }
+  return Status::OK();
+}
+
+Status RecoveryCoordinator::RecoverLoggedTxn(
+    uint16_t coord_id, const MergedTxn& txn,
+    std::set<std::pair<store::TableId, store::Key>>* handled,
+    RecoveryStats* stats) {
+  // Objects re-touched by a later transaction of the same coordinator are
+  // that transaction's responsibility; skip them here.
+  std::vector<store::LogEntry> entries;
+  for (const store::LogEntry& entry : txn.entries) {
+    if (handled->insert({entry.table, entry.key}).second) {
+      entries.push_back(entry);
+    }
+  }
+  if (entries.empty()) return Status::OK();
+
+  // --- Decision (§3.2.2): roll forward iff every replica of every
+  // write-set object carries the post-commit version; otherwise roll back.
+  // Sound because the client commit-ack is sent only after all replicas
+  // are updated (Cor3), and versions only grow.
+  struct ReplicaView {
+    rdma::NodeId node;
+    uint64_t slot;
+    bool updated;
+    uint64_t version;
+  };
+  std::vector<std::vector<ReplicaView>> views(entries.size());
+  bool all_updated = true;
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const store::LogEntry& entry = entries[i];
+    const cluster::TableInfo& info = cluster_->catalog().table(entry.table);
+    for (const rdma::NodeId node :
+         cluster_->ReplicasFor(entry.table, entry.key)) {
+      if (!cluster_->membership().IsMemoryAlive(node)) continue;
+      uint64_t slot = 0;
+      bool found = false;
+      PANDORA_RETURN_NOT_OK(
+          ResolveSlot(entry.table, entry.key, node, &slot, &found));
+      if (!found) {
+        // Insert whose slot claim never reached this replica.
+        all_updated = false;
+        continue;
+      }
+      alignas(8) uint64_t version_word = 0;
+      PANDORA_RETURN_NOT_OK(
+          qp(node)->Read(info.region_rkeys[node],
+                         info.layout.VersionOffset(slot), &version_word,
+                         8));
+      const bool updated = store::VersionOf(version_word) !=
+                           store::VersionOf(entry.old_version);
+      if (!updated) all_updated = false;
+      views[i].push_back({node, slot, updated,
+                          store::VersionOf(version_word)});
+    }
+  }
+
+  if (all_updated) {
+    // Roll forward: all updates are in place; just release the locks
+    // (conditionally, so a transaction that already unlocked is a no-op).
+    stats->rolled_forward++;
+    for (const store::LogEntry& entry : entries) {
+      PANDORA_RETURN_NOT_OK(
+          ReleaseObjectLocks(coord_id, entry.table, entry.key, stats));
+    }
+    return Status::OK();
+  }
+
+  // Roll back: restore the undo image on every updated replica, then
+  // release the locks. Value restores are safe while the primary lock is
+  // still held by the dead (and link-terminated) coordinator, and
+  // idempotent if re-executed.
+  stats->rolled_back++;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const store::LogEntry& entry = entries[i];
+    const cluster::TableInfo& info = cluster_->catalog().table(entry.table);
+    for (const ReplicaView& view : views[i]) {
+      if (!view.updated) continue;
+      // Restore only the failed coordinator's own update (exactly old+1).
+      // Under joint compute+memory failures a promoted backup may already
+      // carry a later committed version; that state must be preserved.
+      if (view.version != store::VersionOf(entry.old_version) + 1) continue;
+      std::vector<char> buf(16 + info.layout.padded_value_size(), 0);
+      EncodeFixed64(buf.data(), entry.old_version);
+      EncodeFixed64(buf.data() + 8, entry.key);
+      if (!entry.old_value.empty()) {
+        std::memcpy(buf.data() + 16, entry.old_value.data(),
+                    std::min<size_t>(entry.old_value.size(),
+                                     buf.size() - 16));
+      }
+      // For inserts old_version is 0, which makes the slot invisible
+      // again (the key claim itself is left in place; harmless).
+      PANDORA_RETURN_NOT_OK(qp(view.node)->Write(
+          info.region_rkeys[view.node],
+          info.layout.VersionOffset(view.slot), buf.data(), buf.size()));
+      stats->objects_restored++;
+    }
+    PANDORA_RETURN_NOT_OK(
+        ReleaseObjectLocks(coord_id, entry.table, entry.key, stats));
+  }
+  return Status::OK();
+}
+
+Status RecoveryCoordinator::TruncateLogs(
+    uint16_t coord_id, const std::vector<rdma::NodeId>& servers) {
+  const store::LogLayout& layout = cluster_->catalog().log_layout();
+  const uint64_t marker = store::InvalidRecordMarker();
+  rdma::VerbBatch batch;
+  for (const rdma::NodeId server : servers) {
+    if (!cluster_->membership().IsMemoryAlive(server)) continue;
+    for (uint32_t s = 0; s < layout.config().slots_per_coordinator; ++s) {
+      batch.Write(qp(server), cluster_->catalog().log_rkey(server),
+                  layout.SlotOffset(coord_id, s), &marker, sizeof(marker));
+    }
+  }
+  return batch.Execute();
+}
+
+Status RecoveryCoordinator::RecoverCoordinatorLogs(uint16_t coord_id,
+                                                   txn::ProtocolMode mode,
+                                                   RecoveryStats* stats) {
+  const uint64_t start = NowNanos();
+
+  std::vector<rdma::NodeId> servers;
+  if (mode == txn::ProtocolMode::kPandora) {
+    servers = txn::LogWriter::LogServersFor(*cluster_, coord_id);
+  } else {
+    // Per-object placement scatters records across all memory servers.
+    for (uint32_t m = 0; m < cluster_->num_memory_nodes(); ++m) {
+      servers.push_back(cluster_->memory_node_id(m));
+    }
+  }
+
+  std::vector<store::LogRecord> records;
+  for (const rdma::NodeId server : servers) {
+    if (!cluster_->membership().IsMemoryAlive(server)) continue;
+    PANDORA_RETURN_NOT_OK(
+        CollectRecords(coord_id, server, &records, stats));
+  }
+
+  // Merge record copies / per-object fragments by transaction id; keep
+  // lock intents separate (they are processed last, Cor4-safe).
+  std::map<uint64_t, MergedTxn> txns;
+  std::vector<store::LogEntry> intents;
+  for (store::LogRecord& record : records) {
+    for (store::LogEntry& entry : record.entries) {
+      if (entry.is_lock_intent) {
+        intents.push_back(std::move(entry));
+        continue;
+      }
+      MergedTxn& txn = txns[record.txn_id];
+      txn.txn_id = record.txn_id;
+      const bool duplicate =
+          std::any_of(txn.entries.begin(), txn.entries.end(),
+                      [&](const store::LogEntry& e) {
+                        return e.table == entry.table && e.key == entry.key;
+                      });
+      if (!duplicate) txn.entries.push_back(std::move(entry));
+    }
+  }
+
+  stats->logged_txns += txns.size();
+  stats->lock_intents += intents.size();
+
+  // Roll each logged transaction forward or back (Cor2). Process in
+  // *descending* transaction order with a per-object handled set: a
+  // coordinator's transactions are sequential, so only the latest logged
+  // transaction touching an object can be responsible for its current
+  // lock/state — records of earlier (necessarily completed) transactions
+  // must not re-release a lock the latest transaction still holds.
+  std::set<std::pair<store::TableId, store::Key>> handled;
+  for (auto it = txns.rbegin(); it != txns.rend(); ++it) {
+    PANDORA_RETURN_NOT_OK(MaybeFault());
+    PANDORA_RETURN_NOT_OK(
+        RecoverLoggedTxn(coord_id, it->second, &handled, stats));
+  }
+
+  // Traditional scheme: release any lock named by an intent. Processed
+  // after full records so a logged transaction's locks were already
+  // handled by its roll decision; the conditional CAS makes stale intents
+  // no-ops.
+  for (const store::LogEntry& intent : intents) {
+    if (handled.count({intent.table, intent.key})) continue;
+    PANDORA_RETURN_NOT_OK(
+        ReleaseObjectLocks(coord_id, intent.table, intent.key, stats));
+  }
+
+  // Idempotent truncation (§3.2.3) before the stray-lock notification.
+  PANDORA_RETURN_NOT_OK(MaybeFault());
+  PANDORA_RETURN_NOT_OK(TruncateLogs(coord_id, servers));
+
+  stats->log_recovery_ns += NowNanos() - start;
+  return Status::OK();
+}
+
+Status RecoveryCoordinator::ScanAndReleaseStrayLocks(
+    const std::vector<uint16_t>& failed_ids, RecoveryStats* stats) {
+  const uint64_t start = NowNanos();
+  for (size_t t = 0; t < cluster_->catalog().num_tables(); ++t) {
+    const cluster::TableInfo& info =
+        cluster_->catalog().table(static_cast<store::TableId>(t));
+    const store::TableLayout& layout = info.layout;
+    const uint64_t slot_size = layout.slot_size();
+    // Chunked one-sided reads over the whole region (this is the
+    // multi-second blocking path PILL exists to avoid, §3.1.1).
+    const uint64_t slots_per_chunk = std::max<uint64_t>(
+        1, (1u << 20) / slot_size);
+    std::vector<char> chunk(slots_per_chunk * slot_size);
+
+    for (uint32_t m = 0; m < cluster_->num_memory_nodes(); ++m) {
+      const rdma::NodeId node = cluster_->memory_node_id(m);
+      if (!cluster_->membership().IsMemoryAlive(node)) continue;
+      for (uint64_t base = 0; base < layout.capacity();
+           base += slots_per_chunk) {
+        const uint64_t count =
+            std::min(slots_per_chunk, layout.capacity() - base);
+        PANDORA_RETURN_NOT_OK(
+            qp(node)->Read(info.region_rkeys[node],
+                           layout.SlotOffset(base), chunk.data(),
+                           count * slot_size));
+        if (scan_throttle_ns_per_slot_ > 0) {
+          SpinForNanos(count * scan_throttle_ns_per_slot_);
+        }
+        for (uint64_t s = 0; s < count; ++s) {
+          stats->slots_scanned++;
+          const store::LockWord lock =
+              DecodeFixed64(chunk.data() + s * slot_size);
+          if (!store::LockHeld(lock)) continue;
+          const uint16_t owner = store::LockOwner(lock);
+          if (std::find(failed_ids.begin(), failed_ids.end(), owner) ==
+              failed_ids.end()) {
+            continue;
+          }
+          uint64_t observed = 0;
+          PANDORA_RETURN_NOT_OK(qp(node)->CompareSwap(
+              info.region_rkeys[node], layout.LockOffset(base + s), lock,
+              store::kUnlocked, &observed));
+          if (observed == lock) stats->locks_released++;
+        }
+      }
+    }
+  }
+  stats->scan_ns += NowNanos() - start;
+  return Status::OK();
+}
+
+}  // namespace recovery
+}  // namespace pandora

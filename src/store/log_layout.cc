@@ -1,0 +1,140 @@
+#include "store/log_layout.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/coding.h"
+
+namespace pandora {
+namespace store {
+
+namespace {
+
+// "PANDORA1" little-endian.
+constexpr uint64_t kRecordMagic = 0x3141524f444e4150ULL;
+constexpr uint64_t kRecordInvalid = 0;
+
+// Serialized record layout (all fields 8-byte aligned):
+//   [0]  magic            (8B)
+//   [8]  txn_id           (8B)
+//   [16] coord_id (4B) | num_entries (4B)
+//   [24] payload_bytes    (8B)  -- bytes of entry payload after checksum
+//   [32] checksum         (8B)  -- FNV-1a over header[8..32) + payload
+//   [40] payload: per entry
+//        table (4B) | flags (4B) | key (8B) | old_header (8B)
+//        | value_bytes (8B) | value (padded to 8B)
+constexpr size_t kRecordHeaderBytes = 40;
+constexpr size_t kEntryFixedBytes = 32;
+
+constexpr uint32_t kFlagInsert = 1u << 0;
+constexpr uint32_t kFlagDelete = 1u << 1;
+constexpr uint32_t kFlagLockIntent = 1u << 2;
+
+size_t EntrySerializedSize(const LogEntry& e) {
+  return kEntryFixedBytes + AlignUp(e.old_value.size(), 8);
+}
+
+}  // namespace
+
+uint64_t InvalidRecordMarker() { return kRecordInvalid; }
+
+Status SerializeLogRecord(const LogRecord& record, uint32_t slot_bytes,
+                          std::vector<char>* buf) {
+  size_t total = kRecordHeaderBytes;
+  for (const LogEntry& e : record.entries) total += EntrySerializedSize(e);
+  if (total > slot_bytes) {
+    return Status::ResourceExhausted(
+        "log record exceeds slot size; raise LogConfig::slot_bytes");
+  }
+  buf->assign(total, 0);
+  char* p = buf->data();
+  EncodeFixed64(p + 0, kRecordMagic);
+  EncodeFixed64(p + 8, record.txn_id);
+  EncodeFixed32(p + 16, record.coord_id);
+  EncodeFixed32(p + 20, static_cast<uint32_t>(record.entries.size()));
+  EncodeFixed64(p + 24, static_cast<uint64_t>(total - kRecordHeaderBytes));
+
+  char* q = p + kRecordHeaderBytes;
+  for (const LogEntry& e : record.entries) {
+    uint32_t flags = 0;
+    if (e.is_insert) flags |= kFlagInsert;
+    if (e.is_delete) flags |= kFlagDelete;
+    if (e.is_lock_intent) flags |= kFlagLockIntent;
+    EncodeFixed32(q + 0, e.table);
+    EncodeFixed32(q + 4, flags);
+    EncodeFixed64(q + 8, e.key);
+    EncodeFixed64(q + 16, e.old_version);
+    EncodeFixed64(q + 24, static_cast<uint64_t>(e.old_value.size()));
+    if (!e.old_value.empty()) {
+      std::memcpy(q + kEntryFixedBytes, e.old_value.data(),
+                  e.old_value.size());
+    }
+    q += EntrySerializedSize(e);
+  }
+
+  // Checksum covers everything except the magic and the checksum itself, so
+  // a torn write of any byte is detected.
+  const uint64_t checksum =
+      Fnv1a64(p + 8, 24) ^
+      Fnv1a64(p + kRecordHeaderBytes, total - kRecordHeaderBytes);
+  EncodeFixed64(p + 32, checksum);
+  return Status::OK();
+}
+
+Status ParseLogRecord(const char* slot_image, uint32_t slot_bytes,
+                      LogRecord* record) {
+  if (slot_bytes < kRecordHeaderBytes) {
+    return Status::InvalidArgument("slot smaller than record header");
+  }
+  const uint64_t magic = DecodeFixed64(slot_image);
+  if (magic == kRecordInvalid) {
+    return Status::NotFound("empty or invalidated log slot");
+  }
+  if (magic != kRecordMagic) {
+    return Status::Corruption("bad log record magic");
+  }
+  const uint64_t payload_bytes = DecodeFixed64(slot_image + 24);
+  if (kRecordHeaderBytes + payload_bytes > slot_bytes) {
+    return Status::Corruption("log record payload length out of range");
+  }
+  const uint64_t expected =
+      Fnv1a64(slot_image + 8, 24) ^
+      Fnv1a64(slot_image + kRecordHeaderBytes, payload_bytes);
+  if (expected != DecodeFixed64(slot_image + 32)) {
+    return Status::Corruption("log record checksum mismatch (torn write)");
+  }
+
+  record->txn_id = DecodeFixed64(slot_image + 8);
+  record->coord_id = static_cast<uint16_t>(DecodeFixed32(slot_image + 16));
+  const uint32_t num_entries = DecodeFixed32(slot_image + 20);
+  record->entries.clear();
+  record->entries.reserve(num_entries);
+
+  const char* q = slot_image + kRecordHeaderBytes;
+  const char* end = q + payload_bytes;
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    if (q + kEntryFixedBytes > end) {
+      return Status::Corruption("log entry truncated");
+    }
+    LogEntry e;
+    e.table = DecodeFixed32(q + 0);
+    const uint32_t flags = DecodeFixed32(q + 4);
+    e.is_insert = (flags & kFlagInsert) != 0;
+    e.is_delete = (flags & kFlagDelete) != 0;
+    e.is_lock_intent = (flags & kFlagLockIntent) != 0;
+    e.key = DecodeFixed64(q + 8);
+    e.old_version = DecodeFixed64(q + 16);
+    const uint64_t value_bytes = DecodeFixed64(q + 24);
+    if (q + kEntryFixedBytes + value_bytes > end) {
+      return Status::Corruption("log entry value truncated");
+    }
+    e.old_value.assign(q + kEntryFixedBytes,
+                       q + kEntryFixedBytes + value_bytes);
+    q += kEntryFixedBytes + AlignUp(value_bytes, 8);
+    record->entries.push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace pandora

@@ -1,0 +1,123 @@
+#ifndef PANDORA_STORE_LOG_LAYOUT_H_
+#define PANDORA_STORE_LOG_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "store/table_layout.h"
+
+namespace pandora {
+namespace store {
+
+/// On-memory-server undo-log area.
+///
+/// Every memory server reserves a log region holding a fixed number of
+/// *record slots* for every coordinator-id (the paper allocates 32 KiB per
+/// coordinator, §3.2.2 "F+1 Log Reads"). Fixed-size slots make the recovery
+/// coordinator's scan unambiguous: each slot either holds a complete,
+/// checksummed record or it does not; there is no variable-length framing to
+/// resynchronize after a torn write.
+///
+/// Pandora writes a transaction's entire write-set as ONE record into the
+/// coordinator's next slot (round-robin), with a single RDMA write per log
+/// server (§3.1.4). The FORD baseline reuses the same slot format but writes
+/// one single-entry record per object per object-replica.
+struct LogConfig {
+  /// Record slots per coordinator. With synchronous coordinators one
+  /// outstanding transaction exists per coordinator, but multiple slots keep
+  /// history for the FORD baseline's per-object records.
+  uint32_t slots_per_coordinator = 8;
+  /// Bytes per record slot. Must fit the largest write-set record; the log
+  /// writer returns ResourceExhausted otherwise. 8 slots x 4 KiB = the
+  /// paper's 32 KiB per coordinator.
+  uint32_t slot_bytes = 4096;
+  /// Number of coordinator-ids the region provisions space for.
+  uint32_t max_coordinators = 1024;
+};
+
+/// Byte layout of a log region under a LogConfig.
+class LogLayout {
+ public:
+  LogLayout() = default;
+  explicit LogLayout(const LogConfig& config) : config_(config) {}
+
+  const LogConfig& config() const { return config_; }
+
+  uint64_t region_size() const {
+    return static_cast<uint64_t>(config_.max_coordinators) *
+           config_.slots_per_coordinator * config_.slot_bytes;
+  }
+
+  uint64_t CoordinatorBase(uint16_t coord_id) const {
+    return static_cast<uint64_t>(coord_id) * config_.slots_per_coordinator *
+           config_.slot_bytes;
+  }
+
+  uint64_t SlotOffset(uint16_t coord_id, uint32_t slot) const {
+    return CoordinatorBase(coord_id) +
+           static_cast<uint64_t>(slot) * config_.slot_bytes;
+  }
+
+  uint64_t CoordinatorAreaSize() const {
+    return static_cast<uint64_t>(config_.slots_per_coordinator) *
+           config_.slot_bytes;
+  }
+
+ private:
+  LogConfig config_;
+};
+
+/// One write-set entry inside a log record: the undo image of an object.
+struct LogEntry {
+  TableId table = 0;
+  Key key = 0;
+  /// Version word observed when the object was locked (pre-update).
+  /// Recovery compares replica versions against VersionOf(old_version) to
+  /// decide roll-forward vs roll-back (§3.2.2 step 3).
+  uint64_t old_version = 0;
+  /// Undo image of the value (empty for inserts, which have no old value).
+  std::vector<char> old_value;
+  /// True if this entry is an insert (slot claimed by this transaction).
+  bool is_insert = false;
+  /// True if this entry deletes the object (commit sets the tombstone).
+  bool is_delete = false;
+  /// True for the traditional lock-logging scheme's lock-intent records
+  /// (§6.1 "Traditional Logging Scheme"): written *before* the lock CAS so
+  /// recovery can release stray locks without scanning the KVS. Carries no
+  /// undo image.
+  bool is_lock_intent = false;
+};
+
+/// A parsed log record: one transaction's undo information.
+struct LogRecord {
+  uint64_t txn_id = 0;
+  uint16_t coord_id = 0;
+  std::vector<LogEntry> entries;
+};
+
+/// Serializes `record` into `buf` (which must hold at least `slot_bytes`).
+/// Returns ResourceExhausted if the record does not fit. The serialized
+/// image is 8-byte aligned and carries a magic word and checksum.
+Status SerializeLogRecord(const LogRecord& record, uint32_t slot_bytes,
+                          std::vector<char>* buf);
+
+/// Parses the record in a slot image. Returns:
+///  - OK and fills `record` for a valid record,
+///  - NotFound for an empty or invalidated slot,
+///  - Corruption for a torn/garbled record (treated by recovery as
+///    not-logged, which is safe: the log write had not completed, so the
+///    transaction cannot have applied any update).
+Status ParseLogRecord(const char* slot_image, uint32_t slot_bytes,
+                      LogRecord* record);
+
+/// Writes the "invalid" marker over a serialized slot image's magic word.
+/// Used by the abort path ("truncate", §3.1.5) and by the recovery
+/// coordinator's idempotent truncation (§3.2.3). Only the first 8 bytes of
+/// the slot need to be rewritten.
+uint64_t InvalidRecordMarker();
+
+}  // namespace store
+}  // namespace pandora
+
+#endif  // PANDORA_STORE_LOG_LAYOUT_H_

@@ -1,0 +1,81 @@
+#ifndef PANDORA_STORE_OBJECT_HEADER_H_
+#define PANDORA_STORE_OBJECT_HEADER_H_
+
+#include <cstdint>
+
+namespace pandora {
+namespace store {
+
+/// Every object slot starts with two adjacent 64-bit words:
+///
+///   word 0: LOCK word     [63] lock bit | [62..47] owner coordinator-id
+///                         | [46..0] zero
+///   word 1: VERSION word  [63] tombstone bit | [62..0] version
+///
+/// Keeping the lock in its own word lets a coordinator lock with a single
+/// *unconditional* CAS (0 -> locked(owner)) without knowing the current
+/// version — exactly FORD's eager-lock scheme (§2.3). Keeping the version
+/// word adjacent lets validation fetch lock + version with one 16-byte RDMA
+/// read, which is what makes the Covert Locks fix free (§5.1: "the lock and
+/// version for each object in FORD's KVS are stored together").
+///
+/// PILL (§3.1.2) is the 16-bit owner id embedded in the lock word: when a
+/// lock CAS fails, the returned word names the owner, and a check against
+/// the failed-ids bitset tells the coordinator whether the lock is stray
+/// (stealable with one more CAS) or live (conflict).
+using LockWord = uint64_t;
+using VersionWord = uint64_t;
+
+/// Number of distinct coordinator-ids over the lifetime of the system
+/// (16-bit ids, §3.1.2).
+constexpr uint32_t kMaxCoordinatorIds = 65536;
+
+// ------------------------------------------------------------- Lock word --
+
+constexpr uint64_t kLockBit = 1ULL << 63;
+constexpr int kLockOwnerShift = 47;
+constexpr LockWord kUnlocked = 0;
+
+inline constexpr LockWord MakeLock(uint16_t owner) {
+  return kLockBit | (static_cast<uint64_t>(owner) << kLockOwnerShift);
+}
+
+inline constexpr bool LockHeld(LockWord w) { return (w & kLockBit) != 0; }
+
+inline constexpr uint16_t LockOwner(LockWord w) {
+  return static_cast<uint16_t>((w >> kLockOwnerShift) & 0xffff);
+}
+
+// ---------------------------------------------------------- Version word --
+
+constexpr uint64_t kTombstoneBit = 1ULL << 63;
+constexpr uint64_t kVersionMask = kTombstoneBit - 1;
+
+inline constexpr VersionWord MakeVersion(uint64_t version, bool tombstone) {
+  return (tombstone ? kTombstoneBit : 0) | (version & kVersionMask);
+}
+
+inline constexpr uint64_t VersionOf(VersionWord w) {
+  return w & kVersionMask;
+}
+
+inline constexpr bool VersionTombstone(VersionWord w) {
+  return (w & kTombstoneBit) != 0;
+}
+
+/// Version word after a committed update: version bumped by one.
+inline constexpr VersionWord BumpVersion(VersionWord old_word,
+                                         bool tombstone) {
+  return MakeVersion(VersionOf(old_word) + 1, tombstone);
+}
+
+/// True if the object is visible to reads: committed at least once (version
+/// 0 means a slot claimed by an in-flight insert) and not deleted.
+inline constexpr bool ObjectVisible(VersionWord w) {
+  return VersionOf(w) != 0 && !VersionTombstone(w);
+}
+
+}  // namespace store
+}  // namespace pandora
+
+#endif  // PANDORA_STORE_OBJECT_HEADER_H_

@@ -1,0 +1,87 @@
+#include "store/remote_object.h"
+
+#include "common/checksum.h"
+#include "common/coding.h"
+
+namespace pandora {
+namespace store {
+
+namespace {
+
+// One probe step's view: lock, version, key.
+struct ProbeView {
+  LockWord lock;
+  VersionWord version;
+  Key key;
+};
+
+Status ReadProbeView(rdma::QueuePair* qp, rdma::RKey rkey,
+                     const TableLayout& layout, uint64_t slot,
+                     ProbeView* view) {
+  alignas(8) char buf[24];
+  PANDORA_RETURN_NOT_OK(
+      qp->Read(rkey, layout.LockOffset(slot), buf, sizeof(buf)));
+  view->lock = DecodeFixed64(buf);
+  view->version = DecodeFixed64(buf + 8);
+  view->key = DecodeFixed64(buf + 16);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FindSlotByProbe(rdma::QueuePair* qp, rdma::RKey rkey,
+                       const TableLayout& layout, Key key,
+                       SlotState* state) {
+  uint64_t probe = layout.HomeSlot(HashKey(key));
+  for (uint64_t scanned = 0; scanned < layout.capacity(); ++scanned) {
+    ProbeView view;
+    PANDORA_RETURN_NOT_OK(ReadProbeView(qp, rkey, layout, probe, &view));
+    if (view.key == key) {
+      state->slot = probe;
+      state->lock = view.lock;
+      state->version = view.version;
+      return Status::OK();
+    }
+    if (view.key == kFreeKey) {
+      return Status::NotFound("key absent");
+    }
+    probe = layout.NextSlot(probe);
+  }
+  return Status::ResourceExhausted("probed entire region");
+}
+
+Status FindOrClaimSlot(rdma::QueuePair* qp, rdma::RKey rkey,
+                       const TableLayout& layout, Key key, SlotState* state,
+                       bool* existed) {
+  uint64_t probe = layout.HomeSlot(HashKey(key));
+  for (uint64_t scanned = 0; scanned < layout.capacity(); ++scanned) {
+    ProbeView view;
+    PANDORA_RETURN_NOT_OK(ReadProbeView(qp, rkey, layout, probe, &view));
+    if (view.key == key) {
+      state->slot = probe;
+      state->lock = view.lock;
+      state->version = view.version;
+      *existed = true;
+      return Status::OK();
+    }
+    if (view.key == kFreeKey) {
+      uint64_t observed = 0;
+      PANDORA_RETURN_NOT_OK(qp->CompareSwap(rkey, layout.KeyOffset(probe),
+                                            kFreeKey, key, &observed));
+      if (observed == kFreeKey || observed == key) {
+        // Claimed by us, or concurrently claimed for the same key.
+        state->slot = probe;
+        state->lock = view.lock;
+        state->version = view.version;
+        *existed = (observed == key);
+        return Status::OK();
+      }
+      // Claimed for a different key; keep probing past it.
+    }
+    probe = layout.NextSlot(probe);
+  }
+  return Status::ResourceExhausted("probed entire region");
+}
+
+}  // namespace store
+}  // namespace pandora

@@ -1,0 +1,45 @@
+#ifndef PANDORA_STORE_REMOTE_OBJECT_H_
+#define PANDORA_STORE_REMOTE_OBJECT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "rdma/queue_pair.h"
+#include "store/object_header.h"
+#include "store/table_layout.h"
+
+namespace pandora {
+namespace store {
+
+/// Snapshot of a slot's control words as observed by a one-sided read.
+struct SlotState {
+  uint64_t slot = 0;
+  LockWord lock = 0;
+  VersionWord version = 0;
+};
+
+/// Compute-side one-sided operations on table regions that need more than a
+/// single verb: hash-table probing and insert-slot claiming. Everything
+/// else (lock CAS, slot reads/writes) is a single verb that the protocols
+/// issue directly through TableLayout offsets.
+
+/// Probes for `key` with one-sided 24-byte reads ({lock, version, key} per
+/// slot). On success fills `state`. Returns NotFound if the probe hits a
+/// free slot (key absent) and ResourceExhausted if the whole region was
+/// scanned.
+Status FindSlotByProbe(rdma::QueuePair* qp, rdma::RKey rkey,
+                       const TableLayout& layout, Key key, SlotState* state);
+
+/// Finds the slot for `key`, or claims a free slot for an insert by CASing
+/// the key word from kFreeKey to `key`. On success `*state` names the
+/// object's slot (existing or newly claimed) and `*existed` says which.
+/// Claiming is idempotent under races: if another coordinator claims the
+/// probed slot first, probing continues.
+Status FindOrClaimSlot(rdma::QueuePair* qp, rdma::RKey rkey,
+                       const TableLayout& layout, Key key, SlotState* state,
+                       bool* existed);
+
+}  // namespace store
+}  // namespace pandora
+
+#endif  // PANDORA_STORE_REMOTE_OBJECT_H_

@@ -1,0 +1,80 @@
+#ifndef PANDORA_STORE_TABLE_LAYOUT_H_
+#define PANDORA_STORE_TABLE_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+
+namespace pandora {
+namespace store {
+
+using TableId = uint32_t;
+
+/// Keys are 8-byte integers (§4.1: all three OLTP benchmarks use 8 B keys).
+/// kFreeKey marks an unoccupied hash-table slot and is not a legal key.
+using Key = uint64_t;
+constexpr Key kFreeKey = 0xffffffffffffffffULL;
+
+/// Static description of one table, fixed at load time.
+struct TableSpec {
+  TableId id = 0;
+  std::string name;
+  /// Raw value size in bytes; padded to 8 in the slot layout.
+  uint32_t value_size = 8;
+  /// Hash-table capacity (slots) of this table's region on *each* replica
+  /// server. Sized by the loader for a <= 60% load factor.
+  uint64_t capacity = 1024;
+};
+
+/// Byte layout of a table region: an open-addressing (linear probe) array of
+/// fixed-size slots. Each slot is
+///
+///   [LockWord : 8B][VersionWord : 8B][Key : 8B][value : padded to 8B]
+///
+/// Slots are 8-byte aligned so the lock word supports RDMA CAS; the lock
+/// and version words are adjacent so validation fetches both in one 16-byte
+/// read; and a whole slot can be fetched with a single RDMA read.
+class TableLayout {
+ public:
+  TableLayout() = default;
+  TableLayout(TableId table, uint32_t value_size, uint64_t capacity)
+      : table_(table),
+        value_size_(value_size),
+        padded_value_size_(AlignUp(value_size, 8)),
+        capacity_(capacity) {}
+
+  TableId table() const { return table_; }
+  uint32_t value_size() const { return value_size_; }
+  uint32_t padded_value_size() const {
+    return static_cast<uint32_t>(padded_value_size_);
+  }
+  uint64_t capacity() const { return capacity_; }
+
+  uint64_t slot_size() const { return 24 + padded_value_size_; }
+  uint64_t region_size() const { return slot_size() * capacity_; }
+
+  uint64_t SlotOffset(uint64_t slot) const { return slot * slot_size(); }
+  uint64_t LockOffset(uint64_t slot) const { return SlotOffset(slot); }
+  uint64_t VersionOffset(uint64_t slot) const { return SlotOffset(slot) + 8; }
+  uint64_t KeyOffset(uint64_t slot) const { return SlotOffset(slot) + 16; }
+  uint64_t ValueOffset(uint64_t slot) const { return SlotOffset(slot) + 24; }
+
+  /// First slot of the probe sequence for `key`.
+  uint64_t HomeSlot(uint64_t key_hash) const { return key_hash % capacity_; }
+
+  uint64_t NextSlot(uint64_t slot) const {
+    return slot + 1 == capacity_ ? 0 : slot + 1;
+  }
+
+ private:
+  TableId table_ = 0;
+  uint32_t value_size_ = 0;
+  uint64_t padded_value_size_ = 0;
+  uint64_t capacity_ = 0;
+};
+
+}  // namespace store
+}  // namespace pandora
+
+#endif  // PANDORA_STORE_TABLE_LAYOUT_H_

@@ -1,0 +1,986 @@
+#include "txn/coordinator.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/checksum.h"
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/logging.h"
+#include "store/remote_object.h"
+
+namespace pandora {
+namespace txn {
+
+namespace {
+
+// Stable-address source for unlock writes (the lock word's unlocked value).
+const uint64_t kUnlockedWord = store::kUnlocked;
+
+// How long to wait for the failure detector's verdict about an unreachable
+// memory server before giving up.
+constexpr uint64_t kMemoryVerdictTimeoutUs = 100'000;
+
+}  // namespace
+
+Coordinator::Coordinator(cluster::Cluster* cluster,
+                         cluster::ComputeServer* server, uint16_t coord_id,
+                         const TxnConfig& config, SystemGate* gate)
+    : cluster_(cluster),
+      server_(server),
+      coord_id_(coord_id),
+      config_(config),
+      gate_(gate),
+      log_writer_(cluster, server, coord_id) {}
+
+Status Coordinator::MaybeCrash(CrashPoint point) {
+  if (crash_hook_ != nullptr && crash_hook_->MaybeCrash(point)) {
+    PANDORA_LOG(kDebug) << "coordinator " << coord_id_
+                        << " crash injected at " << CrashPointName(point);
+    cluster_->fabric().HaltNode(server_->node());
+    return Status::Unavailable("injected crash");
+  }
+  return Status::OK();
+}
+
+Status Coordinator::FinalizeIfCrashed(Status status) {
+  // A coordinator whose node died mid-operation abandons the transaction
+  // exactly as a real process death would: memory keeps the partial state
+  // for recovery to repair, and only local bookkeeping (including the
+  // system-gate registration) is torn down. A fenced node (PermissionDenied
+  // after active-link termination, possibly a failure-detector false
+  // positive) is logically dead too: its verbs are dropped at the memory
+  // side and its in-flight work is recovered like any crash; the process
+  // must rejoin with fresh coordinator-ids.
+  const bool dead = (status.IsUnavailable() && server_->halted()) ||
+                    status.IsPermissionDenied();
+  if (dead && in_txn_) {
+    stats_.crashed++;
+    FinishTxn();
+    return status;
+  }
+  if (status.IsUnavailable() && in_txn_) {
+    // Unavailable without a self-crash: a memory server died under an
+    // operation that could not fail over in place. §3.2.5's rule for
+    // in-flight transactions is to abort the ones that cannot complete;
+    // the abort path skips dead replicas, so the coordinator stays
+    // usable for the next transaction.
+    const Status abort_status = AbortInternal();
+    if (abort_status.IsUnavailable() || abort_status.IsPermissionDenied()) {
+      stats_.crashed++;
+      if (in_txn_) FinishTxn();
+      return abort_status;
+    }
+    return Status::Aborted("memory failure during transaction");
+  }
+  return status;
+}
+
+Status Coordinator::Begin() {
+  if (in_txn_) return Status::InvalidArgument("transaction already open");
+  if (server_->halted()) return Status::Unavailable("compute node halted");
+  // Memory-failure reconfiguration barrier (§3.2.5).
+  while (cluster_->membership().reconfiguring()) {
+    if (server_->halted()) return Status::Unavailable("compute node halted");
+    SleepForMicros(50);
+  }
+  if (gate_ != nullptr && !gate_->EnterTxn(server_->halted_flag())) {
+    return Status::Unavailable("compute node halted");
+  }
+  in_txn_ = true;
+  txn_id_ = (static_cast<uint64_t>(coord_id_) << 32) | next_txn_seq_++;
+  write_set_.clear();
+  read_set_.clear();
+  coord_log_slots_.clear();
+  log_writer_.ResetForNewTxn();
+  return Status::OK();
+}
+
+void Coordinator::FinishTxn() {
+  in_txn_ = false;
+  write_set_.clear();
+  read_set_.clear();
+  coord_log_slots_.clear();
+  if (gate_ != nullptr) gate_->ExitTxn();
+}
+
+Coordinator::WriteOp* Coordinator::FindWriteOp(store::TableId table,
+                                               store::Key key) {
+  for (WriteOp& op : write_set_) {
+    if (op.table == table && op.key == key) return &op;
+  }
+  return nullptr;
+}
+
+Status Coordinator::ResolveSlot(store::TableId table, store::Key key,
+                                rdma::NodeId node, bool claim_for_insert,
+                                uint64_t* slot, bool* existed) {
+  if (const auto cached = cluster_->addresses().Lookup(table, node, key)) {
+    *slot = *cached;
+    *existed = true;
+    return Status::OK();
+  }
+  const cluster::TableInfo& info = cluster_->catalog().table(table);
+  rdma::QueuePair* qp = server_->qp(node);
+  store::SlotState state;
+  if (claim_for_insert) {
+    bool was_there = false;
+    PANDORA_RETURN_NOT_OK(store::FindOrClaimSlot(
+        qp, info.region_rkeys[node], info.layout, key, &state, &was_there));
+    *existed = was_there;
+  } else {
+    const Status status = store::FindSlotByProbe(
+        qp, info.region_rkeys[node], info.layout, key, &state);
+    if (status.IsNotFound()) {
+      *existed = false;
+      return Status::OK();
+    }
+    PANDORA_RETURN_NOT_OK(status);
+    *existed = true;
+  }
+  *slot = state.slot;
+  cluster_->addresses().InsertOverlay(table, node, key, state.slot);
+  return Status::OK();
+}
+
+Status Coordinator::ResolvePlacement(WriteOp* op) {
+  op->replicas = cluster_->ReplicasFor(op->table, op->key);
+  op->slots.assign(op->replicas.size(),
+                   std::numeric_limits<uint64_t>::max());
+  op->lock_node = rdma::kInvalidNodeId;
+  for (size_t i = 0; i < op->replicas.size(); ++i) {
+    const rdma::NodeId node = op->replicas[i];
+    if (!cluster_->membership().IsMemoryAlive(node)) continue;
+    bool existed = false;
+    uint64_t slot = 0;
+    PANDORA_RETURN_NOT_OK(ResolveSlot(op->table, op->key, node,
+                                      op->is_insert, &slot, &existed));
+    if (!existed && !op->is_insert) {
+      return Status::NotFound("key absent");
+    }
+    op->slots[i] = slot;
+    if (op->lock_node == rdma::kInvalidNodeId) {
+      // First alive replica = current primary; locks live there.
+      op->lock_node = node;
+      op->lock_slot = slot;
+    }
+  }
+  if (op->lock_node == rdma::kInvalidNodeId) {
+    return Status::Internal("all replicas of object lost (> f failures)");
+  }
+  return Status::OK();
+}
+
+Status Coordinator::FetchUndoImage(WriteOp* op) {
+  const cluster::TableInfo& info = cluster_->catalog().table(op->table);
+  const store::TableLayout& layout = info.layout;
+  const size_t len = 16 + layout.padded_value_size();
+  std::vector<char> buf(len);
+  PANDORA_RETURN_NOT_OK(server_->qp(op->lock_node)
+                            ->Read(info.region_rkeys[op->lock_node],
+                                   layout.VersionOffset(op->lock_slot),
+                                   buf.data(), len));
+  op->old_version = DecodeFixed64(buf.data());
+  op->old_value.assign(buf.begin() + 16, buf.end());
+  return Status::OK();
+}
+
+Status Coordinator::LockAndFetch(WriteOp* op) {
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeLock));
+  const cluster::TableInfo& info = cluster_->catalog().table(op->table);
+  const store::LockWord mine = store::MakeLock(coord_id_);
+  const uint64_t deadline =
+      NowMicros() + config_.stall_timeout_us;
+
+  while (true) {
+    uint64_t observed = 0;
+    const Status status =
+        server_->qp(op->lock_node)
+            ->CompareSwap(info.region_rkeys[op->lock_node],
+                          info.layout.LockOffset(op->lock_slot),
+                          store::kUnlocked, mine, &observed);
+    if (status.IsUnavailable()) {
+      if (server_->halted()) return status;
+      // Primary died under us: fail over to the next alive replica.
+      PANDORA_RETURN_NOT_OK(ResolveApplyFailure(op->lock_node));
+      PANDORA_RETURN_NOT_OK(ResolvePlacement(op));
+      continue;
+    }
+    PANDORA_RETURN_NOT_OK(status);
+
+    if (observed == store::kUnlocked) {
+      PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLock));
+      op->locked = true;
+      PANDORA_RETURN_NOT_OK(FetchUndoImage(op));
+      PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLockFetch));
+      return Status::OK();
+    }
+
+    const uint16_t owner = store::LockOwner(observed);
+    if (server_->failed_ids().Test(owner)) {
+      if (config_.pill_enabled()) {
+        // PILL (§3.1.2): the lock is stray — its owner has failed and its
+        // transaction was never logged (stray-lock notification is sent
+        // only after log recovery). Steal it with one more CAS.
+        uint64_t steal_observed = 0;
+        PANDORA_RETURN_NOT_OK(
+            server_->qp(op->lock_node)
+                ->CompareSwap(info.region_rkeys[op->lock_node],
+                              info.layout.LockOffset(op->lock_slot),
+                              observed, mine, &steal_observed));
+        if (steal_observed == observed) {
+          stats_.locks_stolen++;
+          PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLock));
+          op->locked = true;
+          PANDORA_RETURN_NOT_OK(FetchUndoImage(op));
+          PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLockFetch));
+          return Status::OK();
+        }
+        continue;  // Someone else stole or released it first; retry.
+      }
+      // No PILL: the object needs recovery. §6.4's stalling path waits
+      // out the recovery (scan / intent processing) instead of aborting.
+      // Stalling only on *recovery-pending* locks (never on live owners)
+      // cannot deadlock live transactions against each other.
+      stats_.lock_conflicts++;
+      if (config_.stall_on_conflict && NowMicros() < deadline &&
+          (gate_ == nullptr || !gate_->blocked())) {
+        stats_.stall_retries++;
+        SleepForMicros(config_.stall_retry_interval_us);
+        continue;
+      }
+      return Status::Busy("object awaiting recovery");
+    }
+
+    stats_.lock_conflicts++;
+    return Status::Busy("object locked by live transaction");
+  }
+}
+
+Status Coordinator::WriteLockIntent(const WriteOp& op) {
+  store::LogRecord record;
+  record.txn_id = txn_id_;
+  record.coord_id = coord_id_;
+  store::LogEntry entry;
+  entry.table = op.table;
+  entry.key = op.key;
+  entry.is_lock_intent = true;
+  record.entries.push_back(std::move(entry));
+
+  rdma::VerbBatch batch;
+  std::vector<uint32_t> slots;
+  PANDORA_RETURN_NOT_OK(
+      log_writer_.PostCoordinatorRecord(record, &batch, &slots));
+  stats_.log_records_written++;
+  return batch.Execute();
+}
+
+Status Coordinator::WritePerObjectLog(WriteOp* op) {
+  if (config_.disable_recovery_logging) return Status::OK();
+  if (op->is_insert && config_.bugs.missing_insert_logging) {
+    return Status::OK();  // FORD bug: inserts never logged.
+  }
+  store::LogRecord record;
+  record.txn_id = txn_id_;
+  record.coord_id = coord_id_;
+  store::LogEntry entry;
+  entry.table = op->table;
+  entry.key = op->key;
+  entry.old_version = op->old_version;
+  entry.is_insert = op->is_insert;
+  entry.is_delete = op->is_delete;
+  if (!op->is_insert) entry.old_value = op->old_value;
+  record.entries.push_back(std::move(entry));
+
+  rdma::VerbBatch batch;
+  PANDORA_RETURN_NOT_OK(log_writer_.PostPerObjectRecord(
+      record, op->replicas, &batch, &op->log_slots));
+  stats_.log_records_written++;
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeLogWrite));
+  PANDORA_RETURN_NOT_OK(batch.Execute());
+  return MaybeCrash(CrashPoint::kAfterLogWrite);
+}
+
+Status Coordinator::StageWrite(WriteOp op) {
+  // Guard the fixed-slot log area: baseline modes write one record per
+  // object (plus one intent in the traditional scheme).
+  const uint32_t slots =
+      cluster_->catalog().log_layout().config().slots_per_coordinator;
+  const uint32_t per_op =
+      config_.mode == ProtocolMode::kTraditionalLogging ? 2 : 1;
+  if (config_.mode != ProtocolMode::kPandora &&
+      (write_set_.size() + 1) * per_op > slots) {
+    return Status::ResourceExhausted(
+        "write-set exceeds per-coordinator log slots");
+  }
+
+  PANDORA_RETURN_NOT_OK(ResolvePlacement(&op));
+
+  if (config_.mode == ProtocolMode::kTraditionalLogging) {
+    // §6.1: lock-intent logged *before* the lock CAS — the extra round
+    // trip that lets recovery release stray locks without scanning.
+    PANDORA_RETURN_NOT_OK(WriteLockIntent(op));
+  }
+
+  if (config_.bugs.relaxed_locks) {
+    // FORD bug: defer the lock to commit time, where it overlaps
+    // validation. Prefetch the undo image without holding the lock.
+    PANDORA_RETURN_NOT_OK(FetchUndoImageUnlocked(&op));
+    write_set_.push_back(std::move(op));
+    return Status::OK();
+  }
+
+  const bool log_before_lock = config_.bugs.logging_without_locking &&
+                               config_.mode != ProtocolMode::kPandora;
+  if (log_before_lock) {
+    // FORD bug: undo record written before the lock is grabbed, with a
+    // pre-lock value image.
+    PANDORA_RETURN_NOT_OK(FetchUndoImageUnlocked(&op));
+    PANDORA_RETURN_NOT_OK(WritePerObjectLog(&op));
+  }
+
+  // Stage before locking so the abort path sees this op (the Complicit
+  // Aborts bug releases locks of ops that never acquired them).
+  write_set_.push_back(std::move(op));
+  WriteOp* staged = &write_set_.back();
+
+  Status status = LockAndFetch(staged);
+  if (status.IsBusy()) {
+    Status abort_status = AbortInternal();
+    if (abort_status.IsUnavailable()) return abort_status;
+    return Status::Aborted("lock conflict");
+  }
+  PANDORA_RETURN_NOT_OK(status);
+
+  if (config_.mode != ProtocolMode::kPandora && !log_before_lock) {
+    // FORD writes the per-object undo record during execution, after
+    // lock + read (lock-to-log order holds per object).
+    PANDORA_RETURN_NOT_OK(WritePerObjectLog(staged));
+  }
+  return Status::OK();
+}
+
+Status Coordinator::FetchUndoImageUnlocked(WriteOp* op) {
+  const rdma::NodeId saved = op->lock_node;
+  PANDORA_RETURN_NOT_OK(FetchUndoImage(op));
+  op->lock_node = saved;
+  return Status::OK();
+}
+
+Status Coordinator::Read(store::TableId table, store::Key key,
+                         std::string* value) {
+  return FinalizeIfCrashed(ReadInternal(table, key, value));
+}
+
+Status Coordinator::ReadInternal(store::TableId table, store::Key key,
+                                 std::string* value) {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  const cluster::TableInfo& info = cluster_->catalog().table(table);
+
+  // Read-your-writes.
+  if (const WriteOp* op = FindWriteOp(table, key)) {
+    if (op->is_delete) return Status::NotFound("deleted in this txn");
+    value->assign(op->new_value.data(), info.spec.value_size);
+    return Status::OK();
+  }
+
+  const uint64_t deadline = NowMicros() + config_.stall_timeout_us;
+  while (true) {
+    const rdma::NodeId node = cluster_->PrimaryFor(table, key);
+    if (node == rdma::kInvalidNodeId) {
+      return Status::Internal("all replicas of object lost (> f failures)");
+    }
+    uint64_t slot = 0;
+    bool existed = false;
+    PANDORA_RETURN_NOT_OK(
+        ResolveSlot(table, key, node, /*claim_for_insert=*/false, &slot,
+                    &existed));
+    if (!existed) return Status::NotFound("key absent");
+
+    const store::TableLayout& layout = info.layout;
+    const size_t len = 24 + layout.padded_value_size();
+    std::vector<char> buf(len);
+    const Status status =
+        server_->qp(node)->Read(info.region_rkeys[node],
+                                layout.LockOffset(slot), buf.data(), len);
+    if (status.IsUnavailable()) {
+      if (server_->halted()) return status;
+      PANDORA_RETURN_NOT_OK(ResolveApplyFailure(node));
+      continue;  // Primary died; re-resolve.
+    }
+    PANDORA_RETURN_NOT_OK(status);
+
+    const store::LockWord lock = DecodeFixed64(buf.data());
+    const store::VersionWord version = DecodeFixed64(buf.data() + 8);
+    if (store::LockHeld(lock) && store::LockOwner(lock) != coord_id_) {
+      const uint16_t owner = store::LockOwner(lock);
+      if (server_->failed_ids().Test(owner)) {
+        if (config_.pill_enabled()) {
+          // Stray lock: its owner failed before logging, so the object
+          // state is the last committed one — proceed as if unlocked
+          // (§3.1.2).
+          stats_.stray_reads_ignored++;
+        } else if (config_.stall_on_conflict && NowMicros() < deadline &&
+                   (gate_ == nullptr || !gate_->blocked())) {
+          // §6.4 stalling path: the object awaits recovery; wait it out.
+          stats_.stall_retries++;
+          SleepForMicros(config_.stall_retry_interval_us);
+          continue;
+        } else {
+          stats_.lock_conflicts++;
+          Status abort_status = AbortInternal();
+          if (abort_status.IsUnavailable()) return abort_status;
+          return Status::Aborted("read conflict: object awaiting recovery");
+        }
+      } else {
+        stats_.lock_conflicts++;
+        Status abort_status = AbortInternal();
+        if (abort_status.IsUnavailable()) return abort_status;
+        return Status::Aborted("read conflict: object locked");
+      }
+    }
+
+    // Track absence too: validation re-checks the version word, so a
+    // not-found read stays stable until commit.
+    read_set_.push_back({table, key, node, slot, version});
+    if (!store::ObjectVisible(version)) {
+      return Status::NotFound("object deleted or not yet committed");
+    }
+    value->assign(buf.data() + 24, info.spec.value_size);
+    return Status::OK();
+  }
+}
+
+Status Coordinator::ReadRange(
+    store::TableId table, store::Key lo, store::Key hi,
+    std::vector<std::pair<store::Key, std::string>>* out) {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  if (hi < lo || hi - lo > 4096) {
+    return Status::InvalidArgument("range too large (cap 4096 keys)");
+  }
+  for (store::Key key = lo;; ++key) {
+    std::string value;
+    const Status status = Read(table, key, &value);
+    if (status.ok()) {
+      out->emplace_back(key, std::move(value));
+    } else if (!status.IsNotFound()) {
+      return status;
+    }
+    if (key == hi) break;
+  }
+  return Status::OK();
+}
+
+Status Coordinator::Write(store::TableId table, store::Key key,
+                          Slice value) {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  const cluster::TableInfo& info = cluster_->catalog().table(table);
+  if (value.size() > info.spec.value_size) {
+    return Status::InvalidArgument("value larger than table value_size");
+  }
+  if (WriteOp* op = FindWriteOp(table, key)) {
+    std::fill(op->new_value.begin(), op->new_value.end(), 0);
+    std::memcpy(op->new_value.data(), value.data(), value.size());
+    op->is_delete = false;
+    return Status::OK();
+  }
+  WriteOp op;
+  op.table = table;
+  op.key = key;
+  op.new_value.assign(info.layout.padded_value_size(), 0);
+  std::memcpy(op.new_value.data(), value.data(), value.size());
+  return FinalizeIfCrashed(StageWrite(std::move(op)));
+}
+
+Status Coordinator::Insert(store::TableId table, store::Key key,
+                           Slice value) {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  const cluster::TableInfo& info = cluster_->catalog().table(table);
+  if (value.size() > info.spec.value_size) {
+    return Status::InvalidArgument("value larger than table value_size");
+  }
+  if (key == store::kFreeKey) {
+    return Status::InvalidArgument("reserved key value");
+  }
+  if (FindWriteOp(table, key) != nullptr) {
+    return Status::InvalidArgument("key already staged in this txn");
+  }
+  WriteOp op;
+  op.table = table;
+  op.key = key;
+  op.is_insert = true;
+  op.new_value.assign(info.layout.padded_value_size(), 0);
+  std::memcpy(op.new_value.data(), value.data(), value.size());
+  const Status status = FinalizeIfCrashed(StageWrite(std::move(op)));
+  if (!status.ok()) return status;
+  // Upsert semantics: if the object turned out to already exist and be
+  // visible, this behaves as a Write (is_insert drops so the undo image is
+  // kept and a rollback restores the old value).
+  WriteOp* staged = &write_set_.back();
+  if (store::ObjectVisible(staged->old_version)) staged->is_insert = false;
+  return Status::OK();
+}
+
+Status Coordinator::Delete(store::TableId table, store::Key key) {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  if (WriteOp* op = FindWriteOp(table, key)) {
+    op->is_delete = true;
+    return Status::OK();
+  }
+  WriteOp op;
+  op.table = table;
+  op.key = key;
+  op.is_delete = true;
+  const cluster::TableInfo& info = cluster_->catalog().table(table);
+  op.new_value.assign(info.layout.padded_value_size(), 0);
+  const Status status = FinalizeIfCrashed(StageWrite(std::move(op)));
+  if (!status.ok()) return status;
+  if (!store::ObjectVisible(write_set_.back().old_version)) {
+    // Deleting a non-existent object: release the lock we just took and
+    // drop the op; the transaction stays live.
+    WriteOp dropped = std::move(write_set_.back());
+    write_set_.pop_back();
+    if (dropped.locked) {
+      const cluster::TableInfo& t = cluster_->catalog().table(table);
+      server_->qp(dropped.lock_node)
+          ->Write(t.region_rkeys[dropped.lock_node],
+                  t.layout.LockOffset(dropped.lock_slot), &kUnlockedWord,
+                  sizeof(kUnlockedWord));
+    }
+    return Status::NotFound("key absent");
+  }
+  return Status::OK();
+}
+
+store::LogRecord Coordinator::BuildCoordinatorRecord() const {
+  store::LogRecord record;
+  record.txn_id = txn_id_;
+  record.coord_id = coord_id_;
+  for (const WriteOp& op : write_set_) {
+    if (op.is_insert && config_.bugs.missing_insert_logging) continue;
+    store::LogEntry entry;
+    entry.table = op.table;
+    entry.key = op.key;
+    entry.old_version = op.old_version;
+    entry.is_insert = op.is_insert;
+    entry.is_delete = op.is_delete;
+    if (!op.is_insert) entry.old_value = op.old_value;
+    record.entries.push_back(std::move(entry));
+  }
+  return record;
+}
+
+Status Coordinator::PostValidationReads(rdma::VerbBatch* batch,
+                                        std::vector<ValidationRead>* reads) {
+  reads->resize(read_set_.size());
+  for (size_t i = 0; i < read_set_.size(); ++i) {
+    const ReadOp& r = read_set_[i];
+    const cluster::TableInfo& info = cluster_->catalog().table(r.table);
+    if (!cluster_->membership().IsMemoryAlive(r.node)) continue;
+    batch->Read(server_->qp(r.node), info.region_rkeys[r.node],
+                info.layout.LockOffset(r.slot), (*reads)[i].buf, 16);
+  }
+  return Status::OK();
+}
+
+Status Coordinator::CheckValidation(
+    const std::vector<ValidationRead>& reads) {
+  for (size_t i = 0; i < read_set_.size(); ++i) {
+    const ReadOp& r = read_set_[i];
+    store::LockWord lock;
+    store::VersionWord version;
+    if (cluster_->membership().IsMemoryAlive(r.node)) {
+      lock = DecodeFixed64(reads[i].buf);
+      version = DecodeFixed64(reads[i].buf + 8);
+    } else {
+      // The primary we read from died: re-validate against the current
+      // primary (a backup holding the same committed version).
+      const rdma::NodeId node = cluster_->PrimaryFor(r.table, r.key);
+      if (node == rdma::kInvalidNodeId) {
+        return Status::Aborted("replicas lost during validation");
+      }
+      uint64_t slot = 0;
+      bool existed = false;
+      PANDORA_RETURN_NOT_OK(ResolveSlot(r.table, r.key, node,
+                                        /*claim_for_insert=*/false, &slot,
+                                        &existed));
+      if (!existed) return Status::Aborted("object vanished");
+      alignas(8) char buf[16];
+      const cluster::TableInfo& info = cluster_->catalog().table(r.table);
+      PANDORA_RETURN_NOT_OK(server_->qp(node)->Read(
+          info.region_rkeys[node], info.layout.LockOffset(slot), buf, 16));
+      lock = DecodeFixed64(buf);
+      version = DecodeFixed64(buf + 8);
+    }
+
+    if (version != r.version) {
+      return Status::Aborted("read-set version changed");
+    }
+    if (config_.bugs.covert_locks) continue;  // FORD bug: skip lock check.
+    if (store::LockHeld(lock)) {
+      const uint16_t owner = store::LockOwner(lock);
+      if (owner == coord_id_) continue;  // Our own write-set lock.
+      if (config_.pill_enabled() && server_->failed_ids().Test(owner)) {
+        stats_.stray_reads_ignored++;
+        continue;  // Stray lock: object state is still the committed one.
+      }
+      return Status::Aborted("read-set object locked");
+    }
+  }
+  return Status::OK();
+}
+
+Status Coordinator::Commit() {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  return FinalizeIfCrashed(server_->halted()
+                               ? Status::Unavailable("compute node halted")
+                               : CommitInternal());
+}
+
+Status Coordinator::CommitInternal() {
+  // ---- Logging + validation, overlapped in one doorbell (§3.1.4-3.1.5:
+  // logging costs no extra round trip on the commit path).
+  rdma::VerbBatch batch;
+  std::vector<ValidationRead> vreads;
+
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeLogWrite));
+  if (config_.mode == ProtocolMode::kPandora && !write_set_.empty() &&
+      !config_.disable_recovery_logging) {
+    const Status log_status = log_writer_.PostCoordinatorRecord(
+        BuildCoordinatorRecord(), &batch, &coord_log_slots_);
+    if (log_status.IsResourceExhausted()) {
+      // Write-set larger than the coordinator's log area: abort cleanly.
+      batch.Execute();
+      Status abort_status = AbortInternal();
+      if (abort_status.IsUnavailable()) return abort_status;
+      return Status::Aborted(log_status.message());
+    }
+    PANDORA_RETURN_NOT_OK(log_status);
+    stats_.log_records_written++;
+    if (!batching_enabled()) {
+      // Ablation: without doorbell batching the log write is its own
+      // round trip instead of overlapping the validation reads.
+      const Status status = batch.Execute();
+      if (status.IsUnavailable() && server_->halted()) return status;
+    }
+  }
+  PANDORA_RETURN_NOT_OK(PostValidationReads(&batch, &vreads));
+
+  if (config_.bugs.relaxed_locks) {
+    // FORD bug: the deferred lock CASes ride in the same doorbell *after*
+    // the validation reads, so validation can overlap lock acquisition.
+    for (WriteOp& op : write_set_) {
+      if (op.locked) continue;
+      const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+      batch.CompareSwap(server_->qp(op.lock_node),
+                        info.region_rkeys[op.lock_node],
+                        info.layout.LockOffset(op.lock_slot),
+                        store::kUnlocked, store::MakeLock(coord_id_),
+                        &op.deferred_lock_observed);
+    }
+  }
+
+  Status status = batch.Execute();
+  if (status.IsUnavailable() && server_->halted()) return status;
+  // A dead memory server inside the batch is tolerated: log writes to dead
+  // log servers are skipped, validation falls back per entry below.
+
+  if (config_.mode == ProtocolMode::kPandora && !coord_log_slots_.empty()) {
+    // NVM deployments: the record is durable only after the flush.
+    PANDORA_RETURN_NOT_OK(
+        FlushForPersistence(log_writer_.log_servers()));
+  }
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLogWrite));
+
+  if (config_.bugs.relaxed_locks) {
+    for (WriteOp& op : write_set_) {
+      if (op.locked) continue;
+      if (op.deferred_lock_observed == store::kUnlocked) {
+        op.locked = true;
+      } else {
+        stats_.lock_conflicts++;
+        Status abort_status = AbortInternal();
+        if (abort_status.IsUnavailable()) return abort_status;
+        return Status::Aborted("deferred lock conflict");
+      }
+    }
+  }
+
+  status = CheckValidation(vreads);
+  if (status.IsUnavailable() && server_->halted()) return status;
+  if (!status.ok()) {
+    stats_.validation_failures++;
+    Status abort_status = AbortInternal();
+    if (abort_status.IsUnavailable()) return abort_status;
+    return Status::Aborted(status.message());
+  }
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterValidation));
+
+  // ---- Decision reached: commit. Apply to every live replica.
+  PANDORA_RETURN_NOT_OK(ApplyWrites());
+
+  // ---- Client ack (Cor3: only after all replicas are updated).
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterCommitApply));
+  if (ack_callback_) ack_callback_(txn_id_, true);
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterClientAck));
+
+  // ---- Unlock.
+  PANDORA_RETURN_NOT_OK(UnlockWriteSet(/*crash_points=*/true));
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterUnlock));
+
+  stats_.committed++;
+  FinishTxn();
+  return Status::OK();
+}
+
+Status Coordinator::FlushForPersistence(
+    const std::vector<rdma::NodeId>& servers) {
+  if (cluster_->config().persistence !=
+      cluster::PersistenceMode::kNvmWithFlush) {
+    return Status::OK();
+  }
+  rdma::VerbBatch batch;
+  alignas(8) static thread_local uint64_t sink = 0;
+  for (const rdma::NodeId server : servers) {
+    if (!cluster_->membership().IsMemoryAlive(server)) continue;
+    // Reading any byte of the region drains the RNIC cache for the
+    // preceding writes on this connection (FORD's selective flush).
+    batch.Read(server_->qp(server), cluster_->catalog().log_rkey(server),
+               0, &sink, sizeof(sink));
+    stats_.nvm_flushes++;
+  }
+  const Status status = batch.Execute();
+  if (status.IsUnavailable() && server_->halted()) return status;
+  return Status::OK();
+}
+
+Status Coordinator::ApplyWrites() {
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeCommitApply));
+  if (write_set_.empty()) return Status::OK();
+
+  // One buffer per op: [version_word][key][value]; identical bytes for the
+  // primary and every backup (the lock word is not part of this span, so
+  // the primary stays locked until the unlock step).
+  apply_bufs_.resize(write_set_.size());
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    WriteOp& op = write_set_[i];
+    const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+    std::vector<char>& buf = apply_bufs_[i];
+    buf.assign(16 + info.layout.padded_value_size(), 0);
+    EncodeFixed64(buf.data(),
+                  store::BumpVersion(op.old_version, op.is_delete));
+    EncodeFixed64(buf.data() + 8, op.key);
+    const std::vector<char>& value =
+        op.is_delete ? op.old_value : op.new_value;
+    std::memcpy(buf.data() + 16, value.data(),
+                std::min(value.size(), buf.size() - 16));
+  }
+
+  bool need_repair = false;
+  if (!batching_enabled()) {
+    // Litmus / ablation mode: apply replica-by-replica (with crash points
+    // in between when a hook is set), so partial-commit states are
+    // reachable and per-verb round trips are visible.
+    for (size_t i = 0; i < write_set_.size(); ++i) {
+      WriteOp& op = write_set_[i];
+      const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+      for (size_t r = 0; r < op.replicas.size(); ++r) {
+        const rdma::NodeId node = op.replicas[r];
+        if (!cluster_->membership().IsMemoryAlive(node)) continue;
+        const Status status = server_->qp(node)->Write(
+            info.region_rkeys[node], info.layout.VersionOffset(op.slots[r]),
+            apply_bufs_[i].data(), apply_bufs_[i].size());
+        if (status.IsUnavailable()) {
+          if (server_->halted()) return status;
+          PANDORA_RETURN_NOT_OK(ResolveApplyFailure(node));
+          continue;  // Dead replica: skip (§3.2.5 rule).
+        }
+        PANDORA_RETURN_NOT_OK(status);
+        PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kMidCommitApply));
+      }
+    }
+    return FlushForPersistence(TouchedReplicaServers());
+  }
+
+  rdma::VerbBatch batch;
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    WriteOp& op = write_set_[i];
+    const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+    for (size_t r = 0; r < op.replicas.size(); ++r) {
+      const rdma::NodeId node = op.replicas[r];
+      if (!cluster_->membership().IsMemoryAlive(node)) continue;
+      batch.Write(server_->qp(node), info.region_rkeys[node],
+                  info.layout.VersionOffset(op.slots[r]),
+                  apply_bufs_[i].data(), apply_bufs_[i].size());
+    }
+  }
+  const Status status = batch.Execute();
+  if (!status.ok()) {
+    if (server_->halted()) return Status::Unavailable("compute node halted");
+    need_repair = true;
+  }
+
+  if (need_repair) {
+    // A memory server died mid-apply. Re-verify per replica: every replica
+    // alive *now* must carry the new version (§3.2.5: "committing
+    // transactions that have updated all live replicas").
+    for (size_t i = 0; i < write_set_.size(); ++i) {
+      WriteOp& op = write_set_[i];
+      const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+      const uint64_t new_version = DecodeFixed64(apply_bufs_[i].data());
+      for (size_t r = 0; r < op.replicas.size(); ++r) {
+        const rdma::NodeId node = op.replicas[r];
+        for (int attempt = 0; attempt < 2; ++attempt) {
+          if (!cluster_->membership().IsMemoryAlive(node)) break;
+          alignas(8) uint64_t version = 0;
+          Status read_status = server_->qp(node)->Read(
+              info.region_rkeys[node],
+              info.layout.VersionOffset(op.slots[r]), &version, 8);
+          if (read_status.IsUnavailable()) {
+            if (server_->halted()) return read_status;
+            PANDORA_RETURN_NOT_OK(ResolveApplyFailure(node));
+            continue;  // Re-check membership.
+          }
+          PANDORA_RETURN_NOT_OK(read_status);
+          if (version == new_version) break;
+          Status write_status = server_->qp(node)->Write(
+              info.region_rkeys[node],
+              info.layout.VersionOffset(op.slots[r]), apply_bufs_[i].data(),
+              apply_bufs_[i].size());
+          if (write_status.IsUnavailable()) {
+            if (server_->halted()) return write_status;
+            PANDORA_RETURN_NOT_OK(ResolveApplyFailure(node));
+            continue;
+          }
+          PANDORA_RETURN_NOT_OK(write_status);
+          break;
+        }
+      }
+    }
+  }
+  return FlushForPersistence(TouchedReplicaServers());
+}
+
+std::vector<rdma::NodeId> Coordinator::TouchedReplicaServers() const {
+  std::vector<rdma::NodeId> servers;
+  for (const WriteOp& op : write_set_) {
+    for (const rdma::NodeId node : op.replicas) {
+      if (std::find(servers.begin(), servers.end(), node) ==
+          servers.end()) {
+        servers.push_back(node);
+      }
+    }
+  }
+  return servers;
+}
+
+Status Coordinator::UnlockWriteSet(bool crash_points) {
+  if (crash_points) {
+    PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeUnlock));
+  }
+  if (!batching_enabled()) {
+    for (WriteOp& op : write_set_) {
+      if (!op.locked) continue;
+      if (!cluster_->membership().IsMemoryAlive(op.lock_node)) continue;
+      const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+      const Status status = server_->qp(op.lock_node)
+                                ->Write(info.region_rkeys[op.lock_node],
+                                        info.layout.LockOffset(op.lock_slot),
+                                        &kUnlockedWord,
+                                        sizeof(kUnlockedWord));
+      if (status.IsUnavailable() && !server_->halted()) continue;
+      PANDORA_RETURN_NOT_OK(status);
+      op.locked = false;
+      if (crash_points) {
+        PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kMidUnlock));
+      }
+    }
+    return Status::OK();
+  }
+
+  rdma::VerbBatch batch;
+  for (WriteOp& op : write_set_) {
+    if (!op.locked) continue;
+    if (!cluster_->membership().IsMemoryAlive(op.lock_node)) continue;
+    const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+    batch.Write(server_->qp(op.lock_node), info.region_rkeys[op.lock_node],
+                info.layout.LockOffset(op.lock_slot), &kUnlockedWord,
+                sizeof(kUnlockedWord));
+  }
+  const Status status = batch.Execute();
+  if (status.IsUnavailable() && server_->halted()) return status;
+  return Status::OK();
+}
+
+Status Coordinator::Abort() {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  return FinalizeIfCrashed(AbortInternal());
+}
+
+Status Coordinator::AbortInternal() {
+  // §3.1.5 abort path: first log the decision by truncating logs, then
+  // release the locks acquired during execution.
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeAbortTruncate));
+  rdma::VerbBatch batch;
+  if (config_.mode == ProtocolMode::kPandora) {
+    for (const uint32_t slot : coord_log_slots_) {
+      log_writer_.PostInvalidateCoordinatorSlot(slot, &batch);
+    }
+  }
+  if (config_.mode != ProtocolMode::kPandora &&
+      !config_.bugs.lost_decision) {
+    for (WriteOp& op : write_set_) {
+      for (const auto& [server, slot] : op.log_slots) {
+        log_writer_.PostInvalidate(server, slot, &batch);
+      }
+    }
+  }
+  if (batch.size() > 0) {
+    const Status status = batch.Execute();
+    if (status.IsUnavailable() && server_->halted()) return status;
+  }
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterAbortTruncate));
+
+  // Release locks. The Complicit Aborts bug releases *every* write-set
+  // lock, including ones this transaction never acquired — which can free
+  // a lock held by a different, live transaction.
+  rdma::VerbBatch unlock_batch;
+  for (WriteOp& op : write_set_) {
+    const bool release = op.locked || config_.bugs.complicit_abort;
+    if (!release) continue;
+    if (op.lock_node == rdma::kInvalidNodeId) continue;
+    if (!cluster_->membership().IsMemoryAlive(op.lock_node)) continue;
+    const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+    unlock_batch.Write(server_->qp(op.lock_node),
+                       info.region_rkeys[op.lock_node],
+                       info.layout.LockOffset(op.lock_slot), &kUnlockedWord,
+                       sizeof(kUnlockedWord));
+  }
+  if (unlock_batch.size() > 0) {
+    const Status status = unlock_batch.Execute();
+    if (status.IsUnavailable() && server_->halted()) return status;
+  }
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterAbort));
+
+  if (ack_callback_) ack_callback_(txn_id_, false);
+  stats_.aborted++;
+  FinishTxn();
+  return Status::Aborted("transaction aborted");
+}
+
+Status Coordinator::ResolveApplyFailure(rdma::NodeId node) {
+  if (server_->halted()) return Status::Unavailable("compute node halted");
+  const uint64_t deadline = NowMicros() + kMemoryVerdictTimeoutUs;
+  while (cluster_->membership().IsMemoryAlive(node)) {
+    if (NowMicros() > deadline) {
+      return Status::Internal("memory server unreachable but not declared "
+                              "failed");
+    }
+    SleepForMicros(100);
+  }
+  return Status::OK();
+}
+
+}  // namespace txn
+}  // namespace pandora

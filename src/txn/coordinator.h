@@ -1,0 +1,236 @@
+#ifndef PANDORA_TXN_COORDINATOR_H_
+#define PANDORA_TXN_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "store/log_layout.h"
+#include "store/object_header.h"
+#include "txn/crash_hook.h"
+#include "txn/log_writer.h"
+#include "txn/system_gate.h"
+#include "txn/txn_config.h"
+
+namespace pandora {
+namespace txn {
+
+/// Outcome notification delivered at the protocol's client-ack points:
+/// after all replicas are updated (commit) or after locks are released
+/// (abort). Used by the litmus framework to reason about what the client
+/// may have observed (correctness criterion Cor3).
+using AckCallback = std::function<void(uint64_t txn_id, bool committed)>;
+
+/// A transaction coordinator: the compute-side engine that executes the
+/// DKVS transactional API (§2.1: BeginTx / Read / Write / ReadRange /
+/// Insert / Delete / CommitTx) entirely through one-sided RDMA verbs.
+///
+/// One Coordinator is single-threaded and runs one transaction at a time;
+/// a compute server runs many coordinators. Which protocol it speaks —
+/// Pandora, the FORD Baseline, or the traditional lock-logging scheme — is
+/// chosen by TxnConfig, as are the injectable FORD bugs of Table 1.
+///
+/// Error model: Read/Write/Insert/Delete return
+///  * OK            — staged/read successfully;
+///  * Aborted       — a conflict aborted the whole transaction (locks
+///                    already released; do not call Commit);
+///  * NotFound      — key absent; the transaction is still live;
+///  * Unavailable   — this compute server crashed (fault injection) or the
+///                    fabric is gone; the transaction is abandoned as-is.
+class Coordinator {
+ public:
+  Coordinator(cluster::Cluster* cluster, cluster::ComputeServer* server,
+              uint16_t coord_id, const TxnConfig& config,
+              SystemGate* gate = nullptr);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  uint16_t coord_id() const { return coord_id_; }
+  const TxnConfig& config() const { return config_; }
+  const TxnStats& stats() const { return stats_; }
+  bool in_txn() const { return in_txn_; }
+
+  /// Fault injection (litmus framework). Not owned.
+  void set_crash_hook(CrashHook* hook) { crash_hook_ = hook; }
+  /// Client-ack observer. Invoked from the coordinator's thread.
+  void set_ack_callback(AckCallback callback) {
+    ack_callback_ = std::move(callback);
+  }
+
+  /// --- Transactional API ------------------------------------------------
+
+  Status Begin();
+
+  /// Reads `table[key]` into `value` (sized to the table's value_size).
+  /// Reads see the transaction's own staged writes.
+  Status Read(store::TableId table, store::Key key, std::string* value);
+
+  /// Stages an update of an existing object, eagerly locking its primary
+  /// (FORD-style execution).
+  Status Write(store::TableId table, store::Key key, Slice value);
+
+  /// Stages creation of a new object (or resurrection of a deleted one).
+  Status Insert(store::TableId table, store::Key key, Slice value);
+
+  /// Stages deletion of an existing object.
+  Status Delete(store::TableId table, store::Key key);
+
+  /// Point-reads every existing key in [lo, hi] (bounded interval scan over
+  /// the hash-partitioned store, as in FORD's KV mapping).
+  Status ReadRange(store::TableId table, store::Key lo, store::Key hi,
+                   std::vector<std::pair<store::Key, std::string>>* out);
+
+  /// Runs validation, logging and commit/abort. Returns OK if committed,
+  /// Aborted if validation or a deferred lock failed (locks released),
+  /// Unavailable if this server crashed mid-protocol.
+  Status Commit();
+
+  /// User-initiated abort: releases acquired locks, invalidates logs.
+  Status Abort();
+
+ private:
+  struct WriteOp {
+    store::TableId table = 0;
+    store::Key key = 0;
+    std::vector<char> new_value;  // staged, padded to the slot value size
+    bool is_insert = false;
+    bool is_delete = false;
+
+    std::vector<rdma::NodeId> replicas;  // static ring order
+    std::vector<uint64_t> slots;         // aligned with replicas
+    rdma::NodeId lock_node = rdma::kInvalidNodeId;  // where we (will) lock
+    uint64_t lock_slot = 0;
+
+    bool locked = false;
+    store::VersionWord old_version = 0;
+    std::vector<char> old_value;  // undo image (padded)
+
+    // Baseline modes: log slots written for this op, for invalidation.
+    std::vector<std::pair<rdma::NodeId, uint32_t>> log_slots;
+    // Relaxed-locks bug: result word of the deferred lock CAS.
+    uint64_t deferred_lock_observed = 0;
+  };
+
+  struct ReadOp {
+    store::TableId table = 0;
+    store::Key key = 0;
+    rdma::NodeId node = rdma::kInvalidNodeId;
+    uint64_t slot = 0;
+    store::VersionWord version = 0;
+  };
+
+  // Crash-injection helper: returns Unavailable (and halts the node) when
+  // the hook fires.
+  Status MaybeCrash(CrashPoint point);
+
+  // Tears down local transaction bookkeeping when `status` reports that
+  // this node crashed mid-operation (memory state is left untouched).
+  Status FinalizeIfCrashed(Status status);
+
+  Status ReadInternal(store::TableId table, store::Key key,
+                      std::string* value);
+
+  // Resolves the slot of (table, key) on `node`, consulting the address
+  // cache first and probing remotely on a miss.
+  Status ResolveSlot(store::TableId table, store::Key key,
+                     rdma::NodeId node, bool claim_for_insert,
+                     uint64_t* slot, bool* existed);
+
+  // Fills op->replicas / op->slots / op->lock_node.
+  Status ResolvePlacement(WriteOp* op);
+
+  // Locks op's primary with CAS (stealing stray locks under PILL; stalling
+  // or aborting on live conflicts) and fetches the undo image.
+  Status LockAndFetch(WriteOp* op);
+
+  // Reads version word + value of op's primary slot (post-lock).
+  Status FetchUndoImage(WriteOp* op);
+
+  // Same, without holding the lock (used only by injected FORD bugs that
+  // break the lock-to-read order).
+  Status FetchUndoImageUnlocked(WriteOp* op);
+
+  // Stages a Write/Insert/Delete after placement resolution.
+  Status StageWrite(WriteOp op);
+
+  // Writes the per-object undo record (baseline modes).
+  Status WritePerObjectLog(WriteOp* op);
+
+  // Traditional scheme: lock-intent record before the lock CAS.
+  Status WriteLockIntent(const WriteOp& op);
+
+  // Builds the Pandora commit-time record over the whole write-set.
+  store::LogRecord BuildCoordinatorRecord() const;
+
+  // Validation read results (lock+version per read-set entry).
+  struct ValidationRead {
+    alignas(8) char buf[16];
+  };
+
+  // Commit sub-steps.
+  Status CommitInternal();
+  Status PostValidationReads(rdma::VerbBatch* batch,
+                             std::vector<ValidationRead>* reads);
+  Status CheckValidation(const std::vector<ValidationRead>& reads);
+  Status ApplyWrites();
+  Status UnlockWriteSet(bool crash_points);
+
+  // §7 NVM support: after durable writes landed on `servers`, issue
+  // FORD's selective one-sided flush (one small read per server, batched)
+  // when the deployment runs NVM behind an RNIC cache. No-op for DRAM and
+  // battery-backed deployments.
+  Status FlushForPersistence(const std::vector<rdma::NodeId>& servers);
+
+  // Distinct memory servers holding replicas of the current write-set.
+  std::vector<rdma::NodeId> TouchedReplicaServers() const;
+
+  // True when the protocols may group verbs into one doorbell batch.
+  bool batching_enabled() const {
+    return crash_hook_ == nullptr && !config_.sequential_verbs;
+  }
+
+  // Abort path. `validated_log_slot` >= 0 means a Pandora coordinator-log
+  // record was written and must be truncated.
+  Status AbortInternal();
+
+  // Handles Unavailable statuses from commit-apply verbs: distinguishes
+  // dead memory servers (skip, §3.2.5) from our own crash.
+  Status ResolveApplyFailure(rdma::NodeId node);
+
+  void FinishTxn();
+
+  WriteOp* FindWriteOp(store::TableId table, store::Key key);
+
+  cluster::Cluster* cluster_;
+  cluster::ComputeServer* server_;
+  uint16_t coord_id_;
+  TxnConfig config_;
+  SystemGate* gate_;
+  LogWriter log_writer_;
+  CrashHook* crash_hook_ = nullptr;
+  AckCallback ack_callback_;
+
+  bool in_txn_ = false;
+  uint64_t txn_id_ = 0;
+  uint64_t next_txn_seq_ = 1;
+  std::vector<WriteOp> write_set_;
+  std::vector<ReadOp> read_set_;
+  // Pandora: coordinator-log slots used by the in-flight transaction
+  // (empty = no record written yet).
+  std::vector<uint32_t> coord_log_slots_;
+  // Reusable commit-apply buffers, one per write op.
+  std::vector<std::vector<char>> apply_bufs_;
+
+  TxnStats stats_;
+};
+
+}  // namespace txn
+}  // namespace pandora
+
+#endif  // PANDORA_TXN_COORDINATOR_H_

@@ -1,0 +1,47 @@
+#include "txn/crash_hook.h"
+
+namespace pandora {
+namespace txn {
+
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kBeforeLock:
+      return "BeforeLock";
+    case CrashPoint::kAfterLock:
+      return "AfterLock";
+    case CrashPoint::kAfterLockFetch:
+      return "AfterLockFetch";
+    case CrashPoint::kBeforeLogWrite:
+      return "BeforeLogWrite";
+    case CrashPoint::kAfterLogWrite:
+      return "AfterLogWrite";
+    case CrashPoint::kAfterValidation:
+      return "AfterValidation";
+    case CrashPoint::kBeforeCommitApply:
+      return "BeforeCommitApply";
+    case CrashPoint::kMidCommitApply:
+      return "MidCommitApply";
+    case CrashPoint::kAfterCommitApply:
+      return "AfterCommitApply";
+    case CrashPoint::kAfterClientAck:
+      return "AfterClientAck";
+    case CrashPoint::kBeforeUnlock:
+      return "BeforeUnlock";
+    case CrashPoint::kMidUnlock:
+      return "MidUnlock";
+    case CrashPoint::kAfterUnlock:
+      return "AfterUnlock";
+    case CrashPoint::kBeforeAbortTruncate:
+      return "BeforeAbortTruncate";
+    case CrashPoint::kAfterAbortTruncate:
+      return "AfterAbortTruncate";
+    case CrashPoint::kMidAbortUnlock:
+      return "MidAbortUnlock";
+    case CrashPoint::kAfterAbort:
+      return "AfterAbort";
+  }
+  return "Unknown";
+}
+
+}  // namespace txn
+}  // namespace pandora

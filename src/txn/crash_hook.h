@@ -1,0 +1,47 @@
+#ifndef PANDORA_TXN_CRASH_HOOK_H_
+#define PANDORA_TXN_CRASH_HOOK_H_
+
+namespace pandora {
+namespace txn {
+
+/// Named points in the transaction protocols where a compute-server crash
+/// can be injected. Each point sits between two RDMA verbs, so injecting a
+/// crash there reproduces exactly the partial states a real process death
+/// can leave in disaggregated memory (§3.1.1 "failure atomicity").
+enum class CrashPoint {
+  kBeforeLock,
+  kAfterLock,          // lock taken, undo image not yet read
+  kAfterLockFetch,     // lock taken and undo image read
+  kBeforeLogWrite,
+  kAfterLogWrite,      // logged but validation outcome unknown
+  kAfterValidation,    // decision reached, nothing applied
+  kBeforeCommitApply,
+  kMidCommitApply,     // some replicas updated, some not
+  kAfterCommitApply,   // all replicas updated, client not yet acked
+  kAfterClientAck,     // acked, locks still held
+  kBeforeUnlock,
+  kMidUnlock,          // some locks released
+  kAfterUnlock,
+  kBeforeAbortTruncate,
+  kAfterAbortTruncate,  // logs invalidated, locks still held
+  kMidAbortUnlock,
+  kAfterAbort,
+};
+
+/// Returns a stable human-readable name (for litmus reports).
+const char* CrashPointName(CrashPoint point);
+
+/// Fault-injection callback. Implementations (the litmus framework's crash
+/// schedules) return true to kill the coordinator's compute server at this
+/// point; the coordinator then halts its node and abandons the transaction
+/// without any cleanup, exactly like a process crash.
+class CrashHook {
+ public:
+  virtual ~CrashHook() = default;
+  virtual bool MaybeCrash(CrashPoint point) = 0;
+};
+
+}  // namespace txn
+}  // namespace pandora
+
+#endif  // PANDORA_TXN_CRASH_HOOK_H_

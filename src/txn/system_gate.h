@@ -1,0 +1,75 @@
+#ifndef PANDORA_TXN_SYSTEM_GATE_H_
+#define PANDORA_TXN_SYSTEM_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace pandora {
+namespace txn {
+
+/// Coordination point between coordinators and blocking ("stop-the-world")
+/// recovery.
+///
+/// Pandora never blocks the gate for compute failures — that is the point
+/// of PILL. The FORD Baseline's scan-based stray-lock recovery must block
+/// every coordinator while it scans (§3.1.1 "we must block the entire
+/// system for several seconds"), and memory-server reconfiguration blocks
+/// both protocols briefly (§3.2.5).
+class SystemGate {
+ public:
+  SystemGate() = default;
+
+  SystemGate(const SystemGate&) = delete;
+  SystemGate& operator=(const SystemGate&) = delete;
+
+  /// --- Coordinator side -----------------------------------------------
+
+  /// Blocks until the gate is open, then registers an active transaction.
+  /// Returns false if `abandon` became true while waiting (coordinator's
+  /// node crashed).
+  bool EnterTxn(const std::atomic<bool>* abandon = nullptr) {
+    while (blocked_.load(std::memory_order_acquire)) {
+      if (abandon != nullptr && abandon->load(std::memory_order_acquire)) {
+        return false;
+      }
+      SleepForMicros(50);
+    }
+    active_txns_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
+
+  void ExitTxn() { active_txns_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  bool blocked() const { return blocked_.load(std::memory_order_acquire); }
+
+  /// --- Recovery side ----------------------------------------------------
+
+  /// Closes the gate and waits for in-flight transactions to drain.
+  /// Crashed coordinators drain too: their verbs fail fast with
+  /// Unavailable, the protocol returns, and the driver calls ExitTxn().
+  /// Stalling coordinators abort their transaction when they observe the
+  /// closed gate, so quiescence cannot deadlock on a stray lock.
+  void BlockAndQuiesce() {
+    blocked_.store(true, std::memory_order_release);
+    while (active_txns_.load(std::memory_order_acquire) > 0) {
+      SleepForMicros(20);
+    }
+  }
+
+  void Unblock() { blocked_.store(false, std::memory_order_release); }
+
+  uint64_t active_txns() const {
+    return active_txns_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> blocked_{false};
+  std::atomic<uint64_t> active_txns_{0};
+};
+
+}  // namespace txn
+}  // namespace pandora
+
+#endif  // PANDORA_TXN_SYSTEM_GATE_H_

@@ -1,0 +1,105 @@
+#ifndef PANDORA_TXN_TXN_CONFIG_H_
+#define PANDORA_TXN_TXN_CONFIG_H_
+
+#include <cstdint>
+
+namespace pandora {
+namespace txn {
+
+/// Which transactional protocol a coordinator runs.
+enum class ProtocolMode {
+  /// Pandora (§3): PILL lock words, coordinator-log on f+1 designated log
+  /// servers written with one RDMA write per server at commit time
+  /// (overlapped with validation), abort-truncation, lock stealing.
+  kPandora,
+  /// The paper's Baseline (§4.1): FORD's online protocol — per-object undo
+  /// logs written eagerly to the object's replicas during execution — with
+  /// Pandora's recovery algorithm integrated. No PILL: stray locks require
+  /// a blocking full-KVS scan.
+  kFordBaseline,
+  /// §6.1/§6.2.1 "Traditional Logging Scheme": Baseline plus a lock-intent
+  /// log write *before* every lock CAS (one extra round trip per lock),
+  /// which lets recovery release stray locks from the logs without
+  /// scanning, at a steady-state throughput cost.
+  kTraditionalLogging,
+};
+
+/// Bug switches reproducing the six FORD defects of Table 1 (§5.1). All
+/// default to off (= the fixed protocols). The litmus framework flips them
+/// one at a time to demonstrate that each bug is caught.
+struct BugFlags {
+  /// C1 "Complicit Aborts": the abort path releases every write-set lock,
+  /// including locks the transaction never acquired — possibly releasing a
+  /// lock held by a *different* transaction.
+  bool complicit_abort = false;
+  /// C2 "Missing Actions": inserts are omitted from the undo log, so a
+  /// crashed transaction's inserts cannot be rolled back.
+  bool missing_insert_logging = false;
+  /// C1 "Covert Locks": validation checks only the version of read-set
+  /// objects, not whether they are locked.
+  bool covert_locks = false;
+  /// C1 "Relaxed Locks": write-set locks are deferred and issued in the
+  /// same doorbell as (after) the validation reads, so validation can
+  /// overlap lock acquisition.
+  bool relaxed_locks = false;
+  /// C2 "Lost Decision": logs of aborted transactions are not invalidated,
+  /// so recovery cannot tell an aborted logged transaction from a committed
+  /// one.
+  bool lost_decision = false;
+  /// C2 "Logging without locking": the per-object undo record is written
+  /// *before* the lock is acquired (with a pre-lock value image).
+  bool logging_without_locking = false;
+
+  bool AnySet() const {
+    return complicit_abort || missing_insert_logging || covert_locks ||
+           relaxed_locks || lost_decision || logging_without_locking;
+  }
+};
+
+/// Per-coordinator protocol configuration.
+struct TxnConfig {
+  ProtocolMode mode = ProtocolMode::kPandora;
+  BugFlags bugs;
+
+  /// Conflict policy (§6.4 "Sensitivity to stalls"): false = abort the
+  /// transaction on a lock conflict (the default, as in FORD); true = stall
+  /// and retry the lock until it is released, stolen, or the timeout
+  /// expires.
+  bool stall_on_conflict = false;
+  uint64_t stall_timeout_us = 1'000'000;
+  uint64_t stall_retry_interval_us = 5;
+
+  /// Forces every verb group (logging, commit apply, unlock) to issue
+  /// sequentially instead of in one doorbell batch — the ablation knob for
+  /// measuring what doorbell batching buys (each group then costs one
+  /// round trip per verb instead of one per group).
+  bool sequential_verbs = false;
+
+  /// Disables the online-recovery component (C2) entirely: no undo
+  /// logging, no truncation. Models the *non-recoverable* FORD that
+  /// Figure 6 compares against — fast, but a compute crash leaves memory
+  /// unrecoverable. Benchmarking only.
+  bool disable_recovery_logging = false;
+
+  /// PILL is a Pandora feature; the baselines cannot steal.
+  bool pill_enabled() const { return mode == ProtocolMode::kPandora; }
+};
+
+/// Per-coordinator counters (single-threaded; aggregated by the drivers).
+struct TxnStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t lock_conflicts = 0;
+  uint64_t validation_failures = 0;
+  uint64_t locks_stolen = 0;
+  uint64_t stray_reads_ignored = 0;
+  uint64_t stall_retries = 0;
+  uint64_t log_records_written = 0;
+  uint64_t nvm_flushes = 0;
+  uint64_t crashed = 0;
+};
+
+}  // namespace txn
+}  // namespace pandora
+
+#endif  // PANDORA_TXN_TXN_CONFIG_H_

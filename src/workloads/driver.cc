@@ -1,0 +1,235 @@
+#include "workloads/driver.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace pandora {
+namespace workloads {
+
+Driver::Driver(cluster::Cluster* cluster,
+               recovery::RecoveryManager* manager, txn::SystemGate* gate,
+               Workload* workload, const DriverConfig& config)
+    : cluster_(cluster),
+      manager_(manager),
+      gate_(gate),
+      workload_(workload),
+      config_(config) {}
+
+txn::Coordinator* Driver::SpawnCoordinator(uint32_t compute_index) {
+  std::vector<uint16_t> ids;
+  const Status status = manager_->RegisterComputeNode(
+      cluster_->compute(compute_index), 1, &ids);
+  PANDORA_CHECK(status.ok());
+  std::lock_guard<std::mutex> lock(coords_mu_);
+  coords_.push_back(std::make_unique<txn::Coordinator>(
+      cluster_, cluster_->compute(compute_index), ids[0], config_.txn,
+      gate_));
+  return coords_.back().get();
+}
+
+void Driver::WorkerLoop(uint32_t worker_index, uint64_t start_ns,
+                        uint64_t deadline_ns, LatencyHistogram* latency) {
+  Random rng(config_.seed * 7919 + worker_index);
+  // Round-robin over the slots this worker owns.
+  std::vector<Slot*> mine;
+  for (size_t i = worker_index; i < slots_.size();
+       i += config_.threads) {
+    mine.push_back(slots_[i].get());
+  }
+  if (mine.empty()) return;
+
+  size_t next = 0;
+  size_t skipped = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const uint64_t now = NowNanos();
+    if (now >= deadline_ns) break;
+    Slot* slot = mine[next];
+    next = (next + 1) % mine.size();
+    txn::Coordinator* coord = slot->coord.load(std::memory_order_acquire);
+    if (coord == nullptr || cluster_->fabric().IsHalted(slot->node)) {
+      // Crashed and not (yet) respawned.
+      if (++skipped >= mine.size()) {
+        skipped = 0;
+        SleepForMicros(50);  // All dead/idle? Don't spin hard.
+      }
+      continue;
+    }
+    if (config_.pace_us > 0 && now < slot->next_allowed_ns) {
+      if (++skipped >= mine.size()) {
+        skipped = 0;
+        SleepForMicros(20);
+      }
+      continue;
+    }
+    skipped = 0;
+    slot->next_allowed_ns = now + config_.pace_us * 1000;
+    const uint64_t txn_start_ns = NowNanos();
+    const Status status = workload_->RunTransaction(coord, &rng);
+    if (status.ok()) {
+      const uint64_t end_ns = NowNanos();
+      latency->Record(end_ns - txn_start_ns);
+      committed_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t bucket =
+          (end_ns - start_ns) / (config_.bucket_ms * 1'000'000);
+      if (bucket < bucket_commits_.size()) {
+        bucket_commits_[bucket]->fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (status.IsAborted() || status.IsBusy()) {
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.IsPermissionDenied()) {
+      // This node was fenced — usually a failure-detector false positive
+      // under CPU pressure (its process is alive). Rejoin it with fresh
+      // coordinator-ids instead of hammering revoked links.
+      crashed_.fetch_add(1, std::memory_order_relaxed);
+      RejoinFencedNode(slot->node);
+    } else if (status.IsUnavailable()) {
+      crashed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // NotFound / ResourceExhausted etc.: transaction-level no-ops.
+  }
+}
+
+void Driver::RejoinFencedNode(rdma::NodeId node) {
+  std::lock_guard<std::mutex> lock(rejoin_mu_);
+  if (cluster_->fabric().IsHalted(node)) return;  // Genuinely crashed.
+  // Let the (false-positive) recovery finish before restoring the links —
+  // restoring earlier would violate Cor1.
+  const uint64_t deadline = NowMicros() + 2'000'000;
+  while (manager_->pending_recoveries() > 0 && NowMicros() < deadline) {
+    SleepForMicros(200);
+  }
+  if (cluster_->fabric().GetMemoryNode(0) != nullptr &&
+      !cluster_->fabric().GetMemoryNode(0)->IsRevoked(node)) {
+    return;  // Another worker already rejoined it.
+  }
+  PANDORA_LOG(kInfo) << "driver: rejoining fenced compute node " << node;
+  cluster_->RestartComputeNode(node);
+  for (auto& slot : slots_) {
+    if (slot->node != node) continue;
+    slot->coord.store(SpawnCoordinator(slot->compute_index),
+                      std::memory_order_release);
+  }
+}
+
+void Driver::FaultLoop(uint64_t start_ns) {
+  std::vector<FaultEvent> events = faults_;
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at_ms < b.at_ms;
+            });
+  for (const FaultEvent& event : events) {
+    const uint64_t target_ns = start_ns + event.at_ms * 1'000'000;
+    while (NowNanos() < target_ns && !stop_.load()) SleepForMicros(200);
+    if (stop_.load()) return;
+
+    switch (event.kind) {
+      case FaultEvent::Kind::kComputeCrash: {
+        const rdma::NodeId node =
+            cluster_->compute_node_id(event.node_index);
+        PANDORA_LOG(kInfo) << "driver: crashing compute node " << node;
+        cluster_->CrashComputeNode(node);
+        break;
+      }
+      case FaultEvent::Kind::kComputeRestart: {
+        const rdma::NodeId node =
+            cluster_->compute_node_id(event.node_index);
+        // Wait for the node's recovery before readmitting it (a fenced
+        // node must not resume with stale rights).
+        manager_->WaitForComputeRecovery(node, 2'000'000);
+        PANDORA_LOG(kInfo) << "driver: restarting compute node " << node;
+        cluster_->RestartComputeNode(node);
+        for (auto& slot : slots_) {
+          if (slot->node != node) continue;
+          slot->coord.store(SpawnCoordinator(slot->compute_index),
+                            std::memory_order_release);
+        }
+        break;
+      }
+      case FaultEvent::Kind::kMemoryCrash: {
+        const rdma::NodeId node =
+            cluster_->memory_node_id(event.node_index);
+        PANDORA_LOG(kInfo) << "driver: crashing memory node " << node;
+        cluster_->CrashMemoryNode(node);
+        manager_->RecoverMemoryFailure(node);
+        break;
+      }
+    }
+  }
+}
+
+DriverResult Driver::Run() {
+  const uint64_t buckets =
+      (config_.duration_ms + config_.bucket_ms - 1) / config_.bucket_ms;
+  bucket_commits_.clear();
+  for (uint64_t b = 0; b < buckets; ++b) {
+    bucket_commits_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+
+  // Logical coordinators, round-robin over compute nodes.
+  slots_.clear();
+  for (uint32_t i = 0; i < config_.coordinators; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->compute_index = i % cluster_->num_compute_nodes();
+    slot->node = cluster_->compute_node_id(slot->compute_index);
+    slot->coord.store(SpawnCoordinator(slot->compute_index),
+                      std::memory_order_release);
+    slots_.push_back(std::move(slot));
+  }
+
+  const uint64_t start_ns = NowNanos();
+  const uint64_t deadline_ns = start_ns + config_.duration_ms * 1'000'000;
+  stop_.store(false);
+
+  std::vector<std::thread> workers;
+  std::vector<LatencyHistogram> latencies(config_.threads);
+  for (uint32_t w = 0; w < config_.threads; ++w) {
+    workers.emplace_back([this, w, start_ns, deadline_ns, &latencies] {
+      WorkerLoop(w, start_ns, deadline_ns, &latencies[w]);
+    });
+  }
+  std::thread fault_thread([this, start_ns] { FaultLoop(start_ns); });
+
+  for (auto& worker : workers) worker.join();
+  stop_.store(true);
+  fault_thread.join();
+  const uint64_t end_ns = NowNanos();
+
+  DriverResult result;
+  result.committed = committed_.load();
+  result.aborted = aborted_.load();
+  result.crashed = crashed_.load();
+  result.mtps = static_cast<double>(result.committed) /
+                (static_cast<double>(end_ns - start_ns) / 1e9) / 1e6;
+  const double bucket_seconds =
+      static_cast<double>(config_.bucket_ms) / 1000.0;
+  for (const auto& bucket : bucket_commits_) {
+    result.timeline_mtps.push_back(
+        static_cast<double>(bucket->load()) / bucket_seconds / 1e6);
+  }
+  for (const LatencyHistogram& latency : latencies) {
+    result.commit_latency.Merge(latency);
+  }
+  {
+    std::lock_guard<std::mutex> lock(coords_mu_);
+    for (const auto& coord : coords_) {
+      const txn::TxnStats& stats = coord->stats();
+      result.totals.committed += stats.committed;
+      result.totals.aborted += stats.aborted;
+      result.totals.lock_conflicts += stats.lock_conflicts;
+      result.totals.validation_failures += stats.validation_failures;
+      result.totals.locks_stolen += stats.locks_stolen;
+      result.totals.stray_reads_ignored += stats.stray_reads_ignored;
+      result.totals.stall_retries += stats.stall_retries;
+      result.totals.log_records_written += stats.log_records_written;
+      result.totals.nvm_flushes += stats.nvm_flushes;
+      result.totals.crashed += stats.crashed;
+    }
+  }
+  return result;
+}
+
+}  // namespace workloads
+}  // namespace pandora

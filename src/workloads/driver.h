@@ -1,0 +1,122 @@
+#ifndef PANDORA_WORKLOADS_DRIVER_H_
+#define PANDORA_WORKLOADS_DRIVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/histogram.h"
+#include "recovery/recovery_manager.h"
+#include "txn/system_gate.h"
+#include "workloads/workload.h"
+
+namespace pandora {
+namespace workloads {
+
+/// Experiment driver: runs a workload on a set of logical transaction
+/// coordinators multiplexed over a small pool of OS threads, records a
+/// committed-transactions timeline, and injects scheduled faults — the
+/// machinery behind every fail-over figure in §6.
+struct DriverConfig {
+  /// OS worker threads (the container has 2 cores; logical coordinators
+  /// beyond this are multiplexed, as the paper's 128 coordinators
+  /// multiplex over its cores).
+  uint32_t threads = 2;
+  /// Logical transaction coordinators, spread round-robin over the
+  /// cluster's compute nodes.
+  uint32_t coordinators = 8;
+  uint64_t duration_ms = 1000;
+  /// Timeline bucket width.
+  uint64_t bucket_ms = 50;
+  /// Closed-loop pacing: each logical coordinator starts at most one
+  /// transaction per `pace_us`. On the real testbed throughput scales
+  /// with the number of (latency-bound) coordinators; with 2 simulation
+  /// cores it would otherwise be thread-bound and fail-over would not
+  /// show the per-coordinator capacity loss the figures report. 0 = off.
+  uint64_t pace_us = 0;
+  txn::TxnConfig txn;
+  uint64_t seed = 42;
+};
+
+/// A scheduled fault.
+struct FaultEvent {
+  enum class Kind {
+    kComputeCrash,    // crash compute node (by compute index)
+    kComputeRestart,  // restart it and respawn its coordinators
+    kMemoryCrash,     // crash memory node (by memory index)
+  };
+  Kind kind = Kind::kComputeCrash;
+  uint64_t at_ms = 0;
+  uint32_t node_index = 0;
+};
+
+struct DriverResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t crashed = 0;
+  double mtps = 0;  // Committed millions of txns per second (wall clock).
+  /// Committed-throughput timeline, one entry per bucket_ms.
+  std::vector<double> timeline_mtps;
+  /// Aggregated coordinator counters.
+  txn::TxnStats totals;
+  /// Commit latency (wall time of committed transactions).
+  LatencyHistogram commit_latency;
+};
+
+class Driver {
+ public:
+  Driver(cluster::Cluster* cluster, recovery::RecoveryManager* manager,
+         txn::SystemGate* gate, Workload* workload,
+         const DriverConfig& config);
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  /// Schedules a fault before Run().
+  void AddFault(const FaultEvent& event) { faults_.push_back(event); }
+
+  /// Runs the workload for duration_ms and returns the aggregate result.
+  DriverResult Run();
+
+ private:
+  struct Slot {
+    rdma::NodeId node = rdma::kInvalidNodeId;
+    uint32_t compute_index = 0;
+    std::atomic<txn::Coordinator*> coord{nullptr};
+    uint64_t next_allowed_ns = 0;  // Pacing deadline (owner thread only).
+  };
+
+  void WorkerLoop(uint32_t worker_index, uint64_t start_ns,
+                  uint64_t deadline_ns, LatencyHistogram* latency);
+  void FaultLoop(uint64_t start_ns);
+  txn::Coordinator* SpawnCoordinator(uint32_t compute_index);
+
+  // Rejoins a compute node that was fenced by a failure-detector false
+  // positive: waits for its recovery to finish, restores its links, and
+  // respawns its coordinators with fresh coordinator-ids.
+  void RejoinFencedNode(rdma::NodeId node);
+
+  cluster::Cluster* cluster_;
+  recovery::RecoveryManager* manager_;
+  txn::SystemGate* gate_;
+  Workload* workload_;
+  DriverConfig config_;
+  std::vector<FaultEvent> faults_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::mutex coords_mu_;  // Guards coords_ growth (spawn/respawn).
+  std::vector<std::unique_ptr<txn::Coordinator>> coords_;
+
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> bucket_commits_;
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> crashed_{0};
+  std::mutex rejoin_mu_;
+};
+
+}  // namespace workloads
+}  // namespace pandora
+
+#endif  // PANDORA_WORKLOADS_DRIVER_H_

@@ -1,0 +1,50 @@
+#include "workloads/micro.h"
+
+#include "common/coding.h"
+
+namespace pandora {
+namespace workloads {
+
+Status MicroWorkload::Setup(cluster::Cluster* cluster) {
+  table_ = cluster->CreateTable("micro", /*value_size=*/40,
+                                config_.num_keys);
+  if (config_.zipf_theta > 0) {
+    const uint64_t range =
+        config_.hot_keys > 0 ? config_.hot_keys : config_.num_keys;
+    zipf_ = std::make_unique<ZipfGenerator>(range, config_.zipf_theta,
+                                            /*seed=*/1);
+  }
+  char value[40] = {0};
+  for (store::Key key = 0; key < config_.num_keys; ++key) {
+    EncodeFixed64(value, key);
+    PANDORA_RETURN_NOT_OK(cluster->LoadRow(table_, key, Slice(value, 40)));
+  }
+  return Status::OK();
+}
+
+store::Key MicroWorkload::PickKey(Random* rng) const {
+  if (zipf_ != nullptr) return zipf_->Sample(rng);
+  const uint64_t range =
+      config_.hot_keys > 0 ? config_.hot_keys : config_.num_keys;
+  return rng->Uniform(range);
+}
+
+Status MicroWorkload::RunTransaction(txn::Coordinator* coord, Random* rng) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  for (uint32_t op = 0; op < config_.ops_per_txn; ++op) {
+    const store::Key key = PickKey(rng);
+    if (rng->PercentTrue(config_.write_percent)) {
+      char value[40] = {0};
+      EncodeFixed64(value, rng->Next());
+      EncodeFixed64(value + 8, key);
+      PANDORA_RETURN_NOT_OK(coord->Write(table_, key, Slice(value, 40)));
+    } else {
+      std::string value;
+      PANDORA_RETURN_NOT_OK(coord->Read(table_, key, &value));
+    }
+  }
+  return coord->Commit();
+}
+
+}  // namespace workloads
+}  // namespace pandora

@@ -1,0 +1,50 @@
+#ifndef PANDORA_WORKLOADS_MICRO_H_
+#define PANDORA_WORKLOADS_MICRO_H_
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace pandora {
+namespace workloads {
+
+/// The paper's microbenchmark (§4.1): one table of 8 B keys and 40 B
+/// values with an adjustable write ratio; §6.4's stall-sensitivity
+/// experiments additionally restrict accesses to a hot set of
+/// 1,000 / 100,000 keys.
+struct MicroConfig {
+  uint64_t num_keys = 100'000;
+  /// Keys actually accessed (<= num_keys). 0 = all keys.
+  uint64_t hot_keys = 0;
+  /// Percent of operations that are writes (paper sweeps up to 100%).
+  uint32_t write_percent = 50;
+  /// Operations per transaction.
+  uint32_t ops_per_txn = 4;
+  /// Optional Zipf skew (0 = uniform).
+  double zipf_theta = 0;
+};
+
+class MicroWorkload : public Workload {
+ public:
+  explicit MicroWorkload(const MicroConfig& config) : config_(config) {}
+
+  std::string name() const override { return "MicroBench"; }
+  Status Setup(cluster::Cluster* cluster) override;
+  Status RunTransaction(txn::Coordinator* coord, Random* rng) override;
+
+  const MicroConfig& config() const { return config_; }
+  store::TableId table() const { return table_; }
+
+ private:
+  store::Key PickKey(Random* rng) const;
+
+  MicroConfig config_;
+  store::TableId table_ = 0;
+  std::unique_ptr<ZipfGenerator> zipf_;  // Set when zipf_theta > 0.
+};
+
+}  // namespace workloads
+}  // namespace pandora
+
+#endif  // PANDORA_WORKLOADS_MICRO_H_

@@ -1,0 +1,206 @@
+#include "workloads/smallbank.h"
+
+#include "common/coding.h"
+
+namespace pandora {
+namespace workloads {
+
+namespace {
+
+// 16-byte value: [balance (int64)][generation counter].
+void EncodeBalance(char* buf, int64_t balance, uint64_t generation) {
+  EncodeFixed64(buf, static_cast<uint64_t>(balance));
+  EncodeFixed64(buf + 8, generation);
+}
+
+int64_t DecodeBalance(const std::string& value) {
+  return static_cast<int64_t>(DecodeFixed64(value.data()));
+}
+
+}  // namespace
+
+Status SmallBankWorkload::Setup(cluster::Cluster* cluster) {
+  savings_ = cluster->CreateTable("savings", 16, config_.num_accounts);
+  checking_ = cluster->CreateTable("checking", 16, config_.num_accounts);
+  char value[16];
+  EncodeBalance(value, config_.initial_balance, 0);
+  for (uint64_t account = 0; account < config_.num_accounts; ++account) {
+    PANDORA_RETURN_NOT_OK(
+        cluster->LoadRow(savings_, account, Slice(value, 16)));
+    PANDORA_RETURN_NOT_OK(
+        cluster->LoadRow(checking_, account, Slice(value, 16)));
+  }
+  return Status::OK();
+}
+
+uint64_t SmallBankWorkload::PickAccount(Random* rng) const {
+  if (config_.hot_accounts > 0 && rng->PercentTrue(config_.hot_percent)) {
+    return rng->Uniform(
+        std::min<uint64_t>(config_.hot_accounts, config_.num_accounts));
+  }
+  return rng->Uniform(config_.num_accounts);
+}
+
+Status SmallBankWorkload::Balance(txn::Coordinator* coord, uint64_t account,
+                                  int64_t* balance) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string savings, checking;
+  PANDORA_RETURN_NOT_OK(coord->Read(savings_, account, &savings));
+  PANDORA_RETURN_NOT_OK(coord->Read(checking_, account, &checking));
+  PANDORA_RETURN_NOT_OK(coord->Commit());
+  *balance = DecodeBalance(savings) + DecodeBalance(checking);
+  return Status::OK();
+}
+
+Status SmallBankWorkload::DepositChecking(txn::Coordinator* coord,
+                                          uint64_t account, int64_t amount) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string value;
+  PANDORA_RETURN_NOT_OK(coord->Read(checking_, account, &value));
+  char buf[16];
+  EncodeBalance(buf, DecodeBalance(value) + amount,
+                DecodeFixed64(value.data() + 8) + 1);
+  PANDORA_RETURN_NOT_OK(coord->Write(checking_, account, Slice(buf, 16)));
+  return coord->Commit();
+}
+
+Status SmallBankWorkload::TransactSavings(txn::Coordinator* coord,
+                                          uint64_t account, int64_t amount) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string value;
+  PANDORA_RETURN_NOT_OK(coord->Read(savings_, account, &value));
+  char buf[16];
+  EncodeBalance(buf, DecodeBalance(value) + amount,
+                DecodeFixed64(value.data() + 8) + 1);
+  PANDORA_RETURN_NOT_OK(coord->Write(savings_, account, Slice(buf, 16)));
+  return coord->Commit();
+}
+
+Status SmallBankWorkload::Amalgamate(txn::Coordinator* coord, uint64_t from,
+                                     uint64_t to) {
+  if (from == to) return Status::OK();
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string from_savings, from_checking, to_checking;
+  PANDORA_RETURN_NOT_OK(coord->Read(savings_, from, &from_savings));
+  PANDORA_RETURN_NOT_OK(coord->Read(checking_, from, &from_checking));
+  PANDORA_RETURN_NOT_OK(coord->Read(checking_, to, &to_checking));
+  const int64_t moved =
+      DecodeBalance(from_savings) + DecodeBalance(from_checking);
+  char zero_s[16], zero_c[16], to_buf[16];
+  EncodeBalance(zero_s, 0, DecodeFixed64(from_savings.data() + 8) + 1);
+  EncodeBalance(zero_c, 0, DecodeFixed64(from_checking.data() + 8) + 1);
+  EncodeBalance(to_buf, DecodeBalance(to_checking) + moved,
+                DecodeFixed64(to_checking.data() + 8) + 1);
+  PANDORA_RETURN_NOT_OK(coord->Write(savings_, from, Slice(zero_s, 16)));
+  PANDORA_RETURN_NOT_OK(coord->Write(checking_, from, Slice(zero_c, 16)));
+  PANDORA_RETURN_NOT_OK(coord->Write(checking_, to, Slice(to_buf, 16)));
+  return coord->Commit();
+}
+
+Status SmallBankWorkload::WriteCheck(txn::Coordinator* coord,
+                                     uint64_t account, int64_t amount) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string savings, checking;
+  PANDORA_RETURN_NOT_OK(coord->Read(savings_, account, &savings));
+  PANDORA_RETURN_NOT_OK(coord->Read(checking_, account, &checking));
+  int64_t debit = amount;
+  if (DecodeBalance(savings) + DecodeBalance(checking) < amount) {
+    debit += config_.overdraft_penalty;
+  }
+  char buf[16];
+  EncodeBalance(buf, DecodeBalance(checking) - debit,
+                DecodeFixed64(checking.data() + 8) + 1);
+  PANDORA_RETURN_NOT_OK(coord->Write(checking_, account, Slice(buf, 16)));
+  return coord->Commit();
+}
+
+Status SmallBankWorkload::SendPayment(txn::Coordinator* coord,
+                                      uint64_t from, uint64_t to,
+                                      int64_t amount) {
+  if (from == to) return Status::OK();
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string from_value, to_value;
+  PANDORA_RETURN_NOT_OK(coord->Read(checking_, from, &from_value));
+  PANDORA_RETURN_NOT_OK(coord->Read(checking_, to, &to_value));
+  char from_buf[16], to_buf[16];
+  EncodeBalance(from_buf, DecodeBalance(from_value) - amount,
+                DecodeFixed64(from_value.data() + 8) + 1);
+  EncodeBalance(to_buf, DecodeBalance(to_value) + amount,
+                DecodeFixed64(to_value.data() + 8) + 1);
+  PANDORA_RETURN_NOT_OK(coord->Write(checking_, from, Slice(from_buf, 16)));
+  PANDORA_RETURN_NOT_OK(coord->Write(checking_, to, Slice(to_buf, 16)));
+  return coord->Commit();
+}
+
+Status SmallBankWorkload::RunTransaction(txn::Coordinator* coord,
+                                         Random* rng) {
+  const uint64_t account = PickAccount(rng);
+  const int64_t amount = static_cast<int64_t>(rng->Range(1, 100));
+  const uint32_t dice = static_cast<uint32_t>(rng->Uniform(100));
+
+  if (config_.conserving_only) {
+    // Balance 15% / Amalgamate 40% / SendPayment 45%: every committed or
+    // crashed outcome preserves the total.
+    if (dice < 15) {
+      int64_t balance = 0;
+      return Balance(coord, account, &balance);
+    }
+    if (dice < 55) return Amalgamate(coord, account, PickAccount(rng));
+    return SendPayment(coord, account, PickAccount(rng), amount);
+  }
+
+  // Standard SmallBank mix: 15% Balance (read-only), 85% updates. The
+  // money-creating/destroying profiles record their delta on commit so
+  // audits can reconcile the total.
+  if (dice < 15) {
+    int64_t balance = 0;
+    return Balance(coord, account, &balance);
+  }
+  if (dice < 30) {
+    const Status status = DepositChecking(coord, account, amount);
+    if (status.ok()) {
+      committed_delta_.fetch_add(amount, std::memory_order_acq_rel);
+    }
+    return status;
+  }
+  if (dice < 45) {
+    const Status status = TransactSavings(coord, account, amount);
+    if (status.ok()) {
+      committed_delta_.fetch_add(amount, std::memory_order_acq_rel);
+    }
+    return status;
+  }
+  if (dice < 60) return Amalgamate(coord, account, PickAccount(rng));
+  if (dice < 75) {
+    const Status status = WriteCheck(coord, account, amount);
+    if (status.ok()) {
+      // Penalty is zero by default; WriteCheck debits exactly `amount`.
+      committed_delta_.fetch_sub(amount, std::memory_order_acq_rel);
+    }
+    return status;
+  }
+  return SendPayment(coord, account, PickAccount(rng), amount);
+}
+
+Status SmallBankWorkload::TotalBalance(txn::Coordinator* coord,
+                                       int64_t* total) {
+  // Chunked read-only transactions (a single huge read-set would conflict
+  // with everything; the audit runs on a quiesced system anyway).
+  int64_t sum = 0;
+  constexpr uint64_t kChunk = 512;
+  for (uint64_t start = 0; start < config_.num_accounts; start += kChunk) {
+    const uint64_t end =
+        std::min(config_.num_accounts, start + kChunk) - 1;
+    PANDORA_RETURN_NOT_OK(coord->Begin());
+    std::vector<std::pair<store::Key, std::string>> rows;
+    PANDORA_RETURN_NOT_OK(coord->ReadRange(savings_, start, end, &rows));
+    PANDORA_RETURN_NOT_OK(coord->ReadRange(checking_, start, end, &rows));
+    PANDORA_RETURN_NOT_OK(coord->Commit());
+    for (const auto& [key, value] : rows) sum += DecodeBalance(value);
+  }
+  *total = sum;
+  return Status::OK();
+}
+
+}  // namespace workloads
+}  // namespace pandora

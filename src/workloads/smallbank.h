@@ -1,0 +1,89 @@
+#ifndef PANDORA_WORKLOADS_SMALLBANK_H_
+#define PANDORA_WORKLOADS_SMALLBANK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace pandora {
+namespace workloads {
+
+/// SmallBank [2]: two tables (savings, checking; 16 B values per §4.1) and
+/// six transaction profiles with an 85% write ratio. The money-conservation
+/// invariant — the sum of all balances never changes when the overdraft
+/// penalty is zero — makes it a natural property test for serializability
+/// under crashes.
+struct SmallBankConfig {
+  uint64_t num_accounts = 10'000;
+  /// Fraction (percent) of transactions that hit the hot accounts, and how
+  /// many accounts are hot (the classic SmallBank hotspot).
+  uint32_t hot_percent = 90;
+  uint64_t hot_accounts = 100;
+  int64_t initial_balance = 1000;
+  /// Overdraft penalty applied by WriteCheck. Zero preserves the
+  /// money-conservation invariant exactly.
+  int64_t overdraft_penalty = 0;
+  /// Restrict the mix to the money-conserving profiles (Balance,
+  /// Amalgamate, SendPayment). With this on, the total balance is
+  /// invariant under any interleaving *and any crash/recovery outcome*,
+  /// making it the workload of choice for end-to-end invariant tests.
+  bool conserving_only = false;
+};
+
+class SmallBankWorkload : public Workload {
+ public:
+  explicit SmallBankWorkload(const SmallBankConfig& config)
+      : config_(config) {}
+
+  std::string name() const override { return "SmallBank"; }
+  Status Setup(cluster::Cluster* cluster) override;
+  Status RunTransaction(txn::Coordinator* coord, Random* rng) override;
+
+  const SmallBankConfig& config() const { return config_; }
+
+  /// Sum of every savings + checking balance, read transactionally in
+  /// chunks (used by the invariant tests and examples).
+  Status TotalBalance(txn::Coordinator* coord, int64_t* total);
+
+  /// Initial total balance.
+  int64_t ExpectedTotal() const {
+    return static_cast<int64_t>(config_.num_accounts) * 2 *
+           config_.initial_balance;
+  }
+
+  /// Net money created/destroyed by committed non-conserving profiles
+  /// (DepositChecking, TransactSavings, WriteCheck). The audit invariant
+  /// is: total == ExpectedTotal() + committed_delta(). Zero by
+  /// construction when conserving_only is set.
+  int64_t committed_delta() const {
+    return committed_delta_.load(std::memory_order_acquire);
+  }
+
+  /// --- Individual transaction profiles (public for tests/examples) -----
+  Status Balance(txn::Coordinator* coord, uint64_t account,
+                 int64_t* balance);
+  Status DepositChecking(txn::Coordinator* coord, uint64_t account,
+                         int64_t amount);
+  Status TransactSavings(txn::Coordinator* coord, uint64_t account,
+                         int64_t amount);
+  Status Amalgamate(txn::Coordinator* coord, uint64_t from, uint64_t to);
+  Status WriteCheck(txn::Coordinator* coord, uint64_t account,
+                    int64_t amount);
+  Status SendPayment(txn::Coordinator* coord, uint64_t from, uint64_t to,
+                     int64_t amount);
+
+ private:
+  uint64_t PickAccount(Random* rng) const;
+
+  SmallBankConfig config_;
+  store::TableId savings_ = 0;
+  store::TableId checking_ = 0;
+  std::atomic<int64_t> committed_delta_{0};
+};
+
+}  // namespace workloads
+}  // namespace pandora
+
+#endif  // PANDORA_WORKLOADS_SMALLBANK_H_

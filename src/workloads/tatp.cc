@@ -1,0 +1,159 @@
+#include "workloads/tatp.h"
+
+#include "common/coding.h"
+
+namespace pandora {
+namespace workloads {
+
+namespace {
+
+constexpr uint32_t kValueSize = 48;
+
+void FillValue(char* buf, uint64_t tag) {
+  std::memset(buf, 0, kValueSize);
+  EncodeFixed64(buf, tag);
+}
+
+}  // namespace
+
+Status TatpWorkload::Setup(cluster::Cluster* cluster) {
+  const uint64_t n = config_.subscribers;
+  subscriber_ = cluster->CreateTable("subscriber", kValueSize, n);
+  access_info_ = cluster->CreateTable("access_info", kValueSize, n * 4);
+  special_facility_ =
+      cluster->CreateTable("special_facility", kValueSize, n * 4);
+  call_forwarding_ =
+      cluster->CreateTable("call_forwarding", kValueSize, n * 4 * 3);
+
+  char value[kValueSize];
+  for (uint64_t s = 0; s < n; ++s) {
+    FillValue(value, s);
+    PANDORA_RETURN_NOT_OK(cluster->LoadRow(subscriber_, SubscriberKey(s),
+                                           Slice(value, kValueSize)));
+    for (uint32_t ai = 1; ai <= AiTypesOf(s); ++ai) {
+      PANDORA_RETURN_NOT_OK(cluster->LoadRow(
+          access_info_, AccessInfoKey(s, ai), Slice(value, kValueSize)));
+    }
+    for (uint32_t sf = 1; sf <= SfTypesOf(s); ++sf) {
+      PANDORA_RETURN_NOT_OK(
+          cluster->LoadRow(special_facility_, SpecialFacilityKey(s, sf),
+                           Slice(value, kValueSize)));
+      // Half the facilities start with a forwarding entry at time 0.
+      if (s % 2 == 0) {
+        PANDORA_RETURN_NOT_OK(
+            cluster->LoadRow(call_forwarding_,
+                             CallForwardingKey(s, sf, 0),
+                             Slice(value, kValueSize)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TatpWorkload::GetSubscriberData(txn::Coordinator* coord,
+                                       uint64_t s) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string value;
+  PANDORA_RETURN_NOT_OK(coord->Read(subscriber_, SubscriberKey(s), &value));
+  return coord->Commit();
+}
+
+Status TatpWorkload::GetNewDestination(txn::Coordinator* coord, uint64_t s,
+                                       uint32_t sf_type,
+                                       uint32_t start_time) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string value;
+  Status status =
+      coord->Read(special_facility_, SpecialFacilityKey(s, sf_type),
+                  &value);
+  if (!status.ok() && !status.IsNotFound()) return status;
+  if (status.ok()) {
+    status = coord->Read(call_forwarding_,
+                         CallForwardingKey(s, sf_type, start_time), &value);
+    if (!status.ok() && !status.IsNotFound()) return status;
+  }
+  return coord->Commit();
+}
+
+Status TatpWorkload::GetAccessData(txn::Coordinator* coord, uint64_t s,
+                                   uint32_t ai_type) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string value;
+  const Status status =
+      coord->Read(access_info_, AccessInfoKey(s, ai_type), &value);
+  if (!status.ok() && !status.IsNotFound()) return status;
+  return coord->Commit();
+}
+
+Status TatpWorkload::UpdateSubscriberData(txn::Coordinator* coord,
+                                          uint64_t s, uint32_t sf_type,
+                                          Random* rng) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  char value[kValueSize];
+  FillValue(value, rng->Next());
+  PANDORA_RETURN_NOT_OK(coord->Write(subscriber_, SubscriberKey(s),
+                                     Slice(value, kValueSize)));
+  const Status status =
+      coord->Write(special_facility_, SpecialFacilityKey(s, sf_type),
+                   Slice(value, kValueSize));
+  if (!status.ok() && !status.IsNotFound()) return status;
+  return coord->Commit();
+}
+
+Status TatpWorkload::UpdateLocation(txn::Coordinator* coord, uint64_t s,
+                                    Random* rng) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  char value[kValueSize];
+  FillValue(value, rng->Next());
+  PANDORA_RETURN_NOT_OK(coord->Write(subscriber_, SubscriberKey(s),
+                                     Slice(value, kValueSize)));
+  return coord->Commit();
+}
+
+Status TatpWorkload::InsertCallForwarding(txn::Coordinator* coord,
+                                          uint64_t s, uint32_t sf_type,
+                                          uint32_t start_time,
+                                          Random* rng) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  std::string existing;
+  PANDORA_RETURN_NOT_OK(
+      coord->Read(subscriber_, SubscriberKey(s), &existing));
+  char value[kValueSize];
+  FillValue(value, rng->Next());
+  PANDORA_RETURN_NOT_OK(
+      coord->Insert(call_forwarding_,
+                    CallForwardingKey(s, sf_type, start_time),
+                    Slice(value, kValueSize)));
+  return coord->Commit();
+}
+
+Status TatpWorkload::DeleteCallForwarding(txn::Coordinator* coord,
+                                          uint64_t s, uint32_t sf_type,
+                                          uint32_t start_time) {
+  PANDORA_RETURN_NOT_OK(coord->Begin());
+  const Status status = coord->Delete(
+      call_forwarding_, CallForwardingKey(s, sf_type, start_time));
+  if (!status.ok() && !status.IsNotFound()) return status;
+  return coord->Commit();
+}
+
+Status TatpWorkload::RunTransaction(txn::Coordinator* coord, Random* rng) {
+  const uint64_t s = rng->Uniform(config_.subscribers);
+  const uint32_t sf_type = 1 + static_cast<uint32_t>(rng->Uniform(4));
+  const uint32_t ai_type = 1 + static_cast<uint32_t>(rng->Uniform(4));
+  const uint32_t start_time = static_cast<uint32_t>(rng->Uniform(3)) * 8;
+  const uint32_t dice = static_cast<uint32_t>(rng->Uniform(100));
+  // Standard TATP mix: 80% read-only.
+  if (dice < 35) return GetSubscriberData(coord, s);
+  if (dice < 45) return GetNewDestination(coord, s, sf_type, start_time);
+  if (dice < 80) return GetAccessData(coord, s, ai_type);
+  if (dice < 82) return UpdateSubscriberData(coord, s, sf_type, rng);
+  if (dice < 96) return UpdateLocation(coord, s, rng);
+  if (dice < 98) {
+    return InsertCallForwarding(coord, s, sf_type, start_time, rng);
+  }
+  return DeleteCallForwarding(coord, s, sf_type, start_time);
+}
+
+}  // namespace workloads
+}  // namespace pandora

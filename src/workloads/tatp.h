@@ -1,0 +1,71 @@
+#ifndef PANDORA_WORKLOADS_TATP_H_
+#define PANDORA_WORKLOADS_TATP_H_
+
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace pandora {
+namespace workloads {
+
+/// TATP [1]: 4 tables (subscriber, access_info, special_facility,
+/// call_forwarding) with 48 B values (§4.1) and the standard 7-transaction
+/// mix, 80% of which is read-only.
+struct TatpConfig {
+  uint64_t subscribers = 10'000;
+};
+
+class TatpWorkload : public Workload {
+ public:
+  explicit TatpWorkload(const TatpConfig& config) : config_(config) {}
+
+  std::string name() const override { return "TATP"; }
+  Status Setup(cluster::Cluster* cluster) override;
+  Status RunTransaction(txn::Coordinator* coord, Random* rng) override;
+
+  const TatpConfig& config() const { return config_; }
+
+ private:
+  // Composite keys flattened to 8 bytes: subscriber id in the high bits,
+  // record type / time slot in the low bits.
+  static store::Key SubscriberKey(uint64_t s) { return s; }
+  static store::Key AccessInfoKey(uint64_t s, uint32_t ai_type) {
+    return (s << 3) | ai_type;  // ai_type in 1..4
+  }
+  static store::Key SpecialFacilityKey(uint64_t s, uint32_t sf_type) {
+    return (s << 3) | sf_type;  // sf_type in 1..4
+  }
+  static store::Key CallForwardingKey(uint64_t s, uint32_t sf_type,
+                                      uint32_t start_time) {
+    return (s << 5) | (sf_type << 2) | (start_time / 8);  // time 0/8/16
+  }
+
+  // Deterministic synthetic population shape.
+  static uint32_t AiTypesOf(uint64_t s) { return (s % 4) + 1; }
+  static uint32_t SfTypesOf(uint64_t s) { return (s % 4) + 1; }
+
+  Status GetSubscriberData(txn::Coordinator* coord, uint64_t s);
+  Status GetNewDestination(txn::Coordinator* coord, uint64_t s,
+                           uint32_t sf_type, uint32_t start_time);
+  Status GetAccessData(txn::Coordinator* coord, uint64_t s,
+                       uint32_t ai_type);
+  Status UpdateSubscriberData(txn::Coordinator* coord, uint64_t s,
+                              uint32_t sf_type, Random* rng);
+  Status UpdateLocation(txn::Coordinator* coord, uint64_t s, Random* rng);
+  Status InsertCallForwarding(txn::Coordinator* coord, uint64_t s,
+                              uint32_t sf_type, uint32_t start_time,
+                              Random* rng);
+  Status DeleteCallForwarding(txn::Coordinator* coord, uint64_t s,
+                              uint32_t sf_type, uint32_t start_time);
+
+  TatpConfig config_;
+  store::TableId subscriber_ = 0;
+  store::TableId access_info_ = 0;
+  store::TableId special_facility_ = 0;
+  store::TableId call_forwarding_ = 0;
+};
+
+}  // namespace workloads
+}  // namespace pandora
+
+#endif  // PANDORA_WORKLOADS_TATP_H_

@@ -1,0 +1,95 @@
+#ifndef PANDORA_WORKLOADS_TPCC_H_
+#define PANDORA_WORKLOADS_TPCC_H_
+
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace pandora {
+namespace workloads {
+
+/// TPC-C [3] mapped onto the KV API, as FORD evaluates it (§4.1: 9 tables,
+/// 672 B customer rows, 95% writes): warehouse, district, customer,
+/// history, new-order, order, order-line, item, stock, and the five
+/// standard transaction profiles (NewOrder 45%, Payment 43%, OrderStatus /
+/// Delivery / StockLevel 4% each). Orders and order-lines are created at
+/// runtime through transactional inserts; per-district sequence numbers
+/// live inside the district rows.
+struct TpccConfig {
+  uint32_t warehouses = 2;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 300;
+  uint32_t items = 1000;
+  /// Capacity headroom for runtime-inserted orders per district.
+  uint32_t max_orders_per_district = 4096;
+};
+
+class TpccWorkload : public Workload {
+ public:
+  explicit TpccWorkload(const TpccConfig& config) : config_(config) {}
+
+  std::string name() const override { return "TPC-C"; }
+  Status Setup(cluster::Cluster* cluster) override;
+  Status RunTransaction(txn::Coordinator* coord, Random* rng) override;
+
+  const TpccConfig& config() const { return config_; }
+
+  /// Per-profile entry points (public for tests).
+  Status NewOrder(txn::Coordinator* coord, Random* rng);
+  Status Payment(txn::Coordinator* coord, Random* rng);
+  Status OrderStatus(txn::Coordinator* coord, Random* rng);
+  Status Delivery(txn::Coordinator* coord, Random* rng);
+  Status StockLevel(txn::Coordinator* coord, Random* rng);
+
+ private:
+  // --- Flattened 8-byte keys -------------------------------------------
+  uint64_t DistrictIndex(uint32_t w, uint32_t d) const {
+    return static_cast<uint64_t>(w) * config_.districts_per_warehouse + d;
+  }
+  store::Key WarehouseKey(uint32_t w) const { return w; }
+  store::Key DistrictKey(uint32_t w, uint32_t d) const {
+    return DistrictIndex(w, d);
+  }
+  store::Key CustomerKey(uint32_t w, uint32_t d, uint32_t c) const {
+    return DistrictIndex(w, d) * config_.customers_per_district + c;
+  }
+  store::Key ItemKey(uint32_t i) const { return i; }
+  store::Key StockKey(uint32_t w, uint32_t i) const {
+    return static_cast<uint64_t>(w) * config_.items + i;
+  }
+  store::Key OrderKey(uint32_t w, uint32_t d, uint64_t o_id) const {
+    return (DistrictIndex(w, d) << 24) | o_id;
+  }
+  store::Key OrderLineKey(uint32_t w, uint32_t d, uint64_t o_id,
+                          uint32_t line) const {
+    return (OrderKey(w, d, o_id) << 4) | line;
+  }
+
+  uint32_t PickWarehouse(Random* rng) const {
+    return static_cast<uint32_t>(rng->Uniform(config_.warehouses));
+  }
+  uint32_t PickDistrict(Random* rng) const {
+    return static_cast<uint32_t>(
+        rng->Uniform(config_.districts_per_warehouse));
+  }
+  uint32_t PickCustomer(Random* rng) const {
+    return static_cast<uint32_t>(
+        rng->Uniform(config_.customers_per_district));
+  }
+
+  TpccConfig config_;
+  store::TableId warehouse_ = 0;
+  store::TableId district_ = 0;
+  store::TableId customer_ = 0;
+  store::TableId history_ = 0;
+  store::TableId new_order_ = 0;
+  store::TableId order_ = 0;
+  store::TableId order_line_ = 0;
+  store::TableId item_ = 0;
+  store::TableId stock_ = 0;
+};
+
+}  // namespace workloads
+}  // namespace pandora
+
+#endif  // PANDORA_WORKLOADS_TPCC_H_

@@ -1,0 +1,34 @@
+#ifndef PANDORA_WORKLOADS_WORKLOAD_H_
+#define PANDORA_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "txn/coordinator.h"
+
+namespace pandora {
+namespace workloads {
+
+/// An OLTP workload: schema + loader + transaction mix. One instance is
+/// shared by all coordinators (immutable after Setup).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates tables and bulk-loads the initial dataset (control path).
+  virtual Status Setup(cluster::Cluster* cluster) = 0;
+
+  /// Runs one transaction of the mix on `coord` (which must be idle).
+  /// Returns the commit status: OK = committed, Aborted = conflict,
+  /// Unavailable = the coordinator's server crashed.
+  virtual Status RunTransaction(txn::Coordinator* coord, Random* rng) = 0;
+};
+
+}  // namespace workloads
+}  // namespace pandora
+
+#endif  // PANDORA_WORKLOADS_WORKLOAD_H_

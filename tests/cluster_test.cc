@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "common/coding.h"
+#include "store/object_header.h"
+#include "store/remote_object.h"
+
+namespace pandora {
+namespace cluster {
+namespace {
+
+// ----------------------------------------------------------------- Ring --
+
+TEST(HashRingTest, ReplicasAreDistinctAndStable) {
+  HashRing ring({0, 1, 2, 3}, /*replication=*/3);
+  for (store::Key key = 0; key < 200; ++key) {
+    const auto replicas = ring.ReplicasFor(1, key);
+    ASSERT_EQ(replicas.size(), 3u);
+    std::set<rdma::NodeId> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+    // Deterministic.
+    EXPECT_EQ(replicas, ring.ReplicasFor(1, key));
+  }
+}
+
+TEST(HashRingTest, PrimariesAreBalanced) {
+  HashRing ring({0, 1, 2, 3}, 2);
+  std::map<rdma::NodeId, int> primary_count;
+  constexpr int kKeys = 8000;
+  for (store::Key key = 0; key < kKeys; ++key) {
+    primary_count[ring.ReplicasFor(0, key)[0]]++;
+  }
+  for (const auto& [node, count] : primary_count) {
+    // Within a factor of ~2 of perfectly even (consistent hashing with 64
+    // vnodes is not perfectly uniform).
+    EXPECT_GT(count, kKeys / 8) << "node " << node;
+    EXPECT_LT(count, kKeys / 2) << "node " << node;
+  }
+}
+
+TEST(HashRingTest, TablesPlaceIndependently) {
+  HashRing ring({0, 1, 2}, 1);
+  int diff = 0;
+  for (store::Key key = 0; key < 300; ++key) {
+    if (ring.ReplicasFor(0, key)[0] != ring.ReplicasFor(1, key)[0]) ++diff;
+  }
+  EXPECT_GT(diff, 50);
+}
+
+// Property: removing one node never changes the replica *prefix* for keys
+// it did not serve — the essence of consistent hashing (minimal movement).
+TEST(HashRingTest, NodeRemovalMovesOnlyAffectedKeys) {
+  HashRing full({0, 1, 2, 3}, 1);
+  HashRing without3({0, 1, 2}, 1);
+  for (store::Key key = 0; key < 2000; ++key) {
+    const rdma::NodeId before = full.ReplicasFor(0, key)[0];
+    const rdma::NodeId after = without3.ReplicasFor(0, key)[0];
+    if (before != 3) {
+      EXPECT_EQ(after, before) << "key " << key << " moved unnecessarily";
+    }
+  }
+}
+
+// -------------------------------------------------------------- Cluster --
+
+ClusterConfig TestConfig() {
+  ClusterConfig config;
+  config.memory_nodes = 3;
+  config.compute_nodes = 2;
+  config.replication = 2;
+  config.net.one_way_ns = 0;
+  config.net.per_byte_ns = 0;
+  config.log.max_coordinators = 16;
+  return config;
+}
+
+TEST(ClusterTest, NodeIdConvention) {
+  Cluster cluster(TestConfig());
+  EXPECT_EQ(cluster.memory_node_id(0), 0);
+  EXPECT_EQ(cluster.memory_node_id(2), 2);
+  EXPECT_EQ(cluster.compute_node_id(0), 3);
+  EXPECT_EQ(cluster.compute_node_id(1), 4);
+  EXPECT_EQ(cluster.service_node_id(), 5);
+  EXPECT_EQ(cluster.ComputeServers().size(), 2u);
+}
+
+TEST(ClusterTest, LoadAndReadBackThroughVerbs) {
+  Cluster cluster(TestConfig());
+  const store::TableId t =
+      cluster.CreateTable("accounts", /*value_size=*/16, 100);
+  const char value[16] = "hello-balance";
+  ASSERT_TRUE(cluster.LoadRow(t, 7, Slice(value, 16)).ok());
+
+  const auto& info = cluster.catalog().table(t);
+  for (const rdma::NodeId node : cluster.ReplicasFor(t, 7)) {
+    rdma::QueuePair* qp = cluster.compute(0)->qp(node);
+    store::SlotState state;
+    ASSERT_TRUE(store::FindSlotByProbe(qp, info.region_rkeys[node],
+                                       info.layout, 7, &state)
+                    .ok());
+    EXPECT_EQ(store::VersionOf(state.version), 1u);
+    EXPECT_FALSE(store::LockHeld(state.lock));
+    alignas(8) char read_back[16] = {0};
+    ASSERT_TRUE(qp->Read(info.region_rkeys[node],
+                         info.layout.ValueOffset(state.slot), read_back, 16)
+                    .ok());
+    EXPECT_EQ(std::memcmp(read_back, value, 16), 0);
+    // Address cache agrees with the probe.
+    const auto cached = cluster.addresses().Lookup(t, node, 7);
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_EQ(*cached, state.slot);
+  }
+}
+
+TEST(ClusterTest, RejectsOversizedValueAndReservedKey) {
+  Cluster cluster(TestConfig());
+  const store::TableId t = cluster.CreateTable("t", 8, 10);
+  const char big[32] = {0};
+  EXPECT_TRUE(cluster.LoadRow(t, 1, Slice(big, 32)).IsInvalidArgument());
+  EXPECT_TRUE(
+      cluster.LoadRow(t, store::kFreeKey, Slice(big, 8)).IsInvalidArgument());
+}
+
+TEST(ClusterTest, KeyZeroIsLegal) {
+  Cluster cluster(TestConfig());
+  const store::TableId t = cluster.CreateTable("t", 8, 10);
+  const char v[8] = "zero";
+  ASSERT_TRUE(cluster.LoadRow(t, 0, Slice(v, 8)).ok());
+  const rdma::NodeId node = cluster.ReplicasFor(t, 0)[0];
+  const auto& info = cluster.catalog().table(t);
+  store::SlotState state;
+  EXPECT_TRUE(store::FindSlotByProbe(cluster.compute(0)->qp(node),
+                                     info.region_rkeys[node], info.layout, 0,
+                                     &state)
+                  .ok());
+}
+
+TEST(ClusterTest, PrimaryFailsOverToBackup) {
+  Cluster cluster(TestConfig());
+  const store::TableId t = cluster.CreateTable("t", 8, 100);
+  const char v[8] = "x";
+  for (store::Key k = 0; k < 50; ++k) {
+    ASSERT_TRUE(cluster.LoadRow(t, k, Slice(v, 8)).ok());
+  }
+  for (store::Key k = 0; k < 50; ++k) {
+    const auto replicas = cluster.ReplicasFor(t, k);
+    EXPECT_EQ(cluster.PrimaryFor(t, k), replicas[0]);
+  }
+  const uint64_t epoch_before = cluster.membership().epoch();
+  cluster.CrashMemoryNode(0);
+  EXPECT_GT(cluster.membership().epoch(), epoch_before);
+  for (store::Key k = 0; k < 50; ++k) {
+    const auto replicas = cluster.ReplicasFor(t, k);
+    const rdma::NodeId primary = cluster.PrimaryFor(t, k);
+    if (replicas[0] == 0) {
+      // New primary is the first alive backup, which holds the data.
+      EXPECT_EQ(primary, replicas[1]);
+    } else {
+      EXPECT_EQ(primary, replicas[0]);
+    }
+    EXPECT_NE(primary, 0);
+  }
+}
+
+TEST(ClusterTest, CrashedMemoryNodeFailsVerbs) {
+  Cluster cluster(TestConfig());
+  const store::TableId t = cluster.CreateTable("t", 8, 10);
+  const char v[8] = "x";
+  ASSERT_TRUE(cluster.LoadRow(t, 1, Slice(v, 8)).ok());
+  cluster.CrashMemoryNode(1);
+  const auto& info = cluster.catalog().table(t);
+  alignas(8) char buf[8];
+  EXPECT_TRUE(cluster.compute(0)
+                  ->qp(1)
+                  ->Read(info.region_rkeys[1], 0, buf, 8)
+                  .IsUnavailable());
+}
+
+TEST(ClusterTest, CrashAndRestartComputeNode) {
+  Cluster cluster(TestConfig());
+  const rdma::NodeId node = cluster.compute_node_id(0);
+  EXPECT_FALSE(cluster.compute(0)->halted());
+  cluster.CrashComputeNode(node);
+  EXPECT_TRUE(cluster.compute(0)->halted());
+  cluster.RestartComputeNode(node);
+  EXPECT_FALSE(cluster.compute(0)->halted());
+}
+
+TEST(ClusterTest, MembershipReconfigurationBarrier) {
+  Membership membership;
+  EXPECT_FALSE(membership.reconfiguring());
+  membership.BeginReconfiguration();
+  EXPECT_TRUE(membership.reconfiguring());
+  membership.EndReconfiguration();
+  EXPECT_FALSE(membership.reconfiguring());
+}
+
+// Replication sweep: loading under different (memory_nodes, replication)
+// shapes must place every row on exactly `replication` distinct servers.
+class ReplicationSweep
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(ReplicationSweep, EveryRowOnExactlyRReplicas) {
+  const auto [memory_nodes, replication] = GetParam();
+  ClusterConfig config = TestConfig();
+  config.memory_nodes = memory_nodes;
+  config.replication = replication;
+  Cluster cluster(config);
+  const store::TableId t = cluster.CreateTable("t", 8, 64);
+  const char v[8] = "x";
+  for (store::Key k = 0; k < 64; ++k) {
+    ASSERT_TRUE(cluster.LoadRow(t, k, Slice(v, 8)).ok());
+    int copies = 0;
+    const auto& info = cluster.catalog().table(t);
+    for (uint32_t m = 0; m < memory_nodes; ++m) {
+      store::SlotState state;
+      if (store::FindSlotByProbe(cluster.compute(0)->qp(m),
+                                 info.region_rkeys[m], info.layout, k,
+                                 &state)
+              .ok()) {
+        ++copies;
+      }
+    }
+    EXPECT_EQ(copies, static_cast<int>(replication)) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReplicationSweep,
+                         ::testing::Values(std::make_pair(2u, 1u),
+                                           std::make_pair(2u, 2u),
+                                           std::make_pair(4u, 3u),
+                                           std::make_pair(5u, 2u)));
+
+}  // namespace
+}  // namespace cluster
+}  // namespace pandora

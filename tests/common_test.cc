@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_copy.h"
+#include "common/checksum.h"
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/fixed_bitset.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace pandora {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::PermissionDenied().IsPermissionDenied());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::ResourceExhausted().IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+  EXPECT_FALSE(Status::NotFound().ok());
+}
+
+TEST(StatusTest, MessageIncludedInToString) {
+  Status s = Status::Aborted("validation failed");
+  EXPECT_EQ(s.ToString(), "Aborted: validation failed");
+}
+
+Status FailsEarly(bool fail) {
+  PANDORA_RETURN_NOT_OK(fail ? Status::Busy("locked") : Status::OK());
+  return Status::NotFound("reached end");
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(FailsEarly(true).IsBusy());
+  EXPECT_TRUE(FailsEarly(false).IsNotFound());
+}
+
+// ---------------------------------------------------------------- Result --
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(bad.value_or(42), 42);
+}
+
+Status UseAssignOrReturn(int in, int* out) {
+  PANDORA_ASSIGN_OR_RETURN(*out, ParsePositive(in));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(UseAssignOrReturn(-5, &out).IsInvalidArgument());
+}
+
+// ----------------------------------------------------------------- Slice --
+
+TEST(SliceTest, BasicAndEquality) {
+  std::string s = "hello";
+  Slice a(s);
+  Slice b("hello", 5);
+  Slice c("hellx", 5);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_EQ(a[1], 'e');
+  EXPECT_TRUE(Slice().empty());
+}
+
+// ---------------------------------------------------------------- Random --
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123), c(124);
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = r.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, PercentTrueIsRoughlyCalibrated) {
+  Random r(99);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.PercentTrue(30) ? 1 : 0;
+  EXPECT_NEAR(hits, 30000, 1500);
+}
+
+TEST(ZipfTest, InRangeAndSkewed) {
+  ZipfGenerator zipf(1000, 0.99, 42);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank 0 must be much hotter than the tail under theta=0.99.
+  EXPECT_GT(counts[0], counts[500] * 10);
+  EXPECT_GT(counts[0], 1000);
+}
+
+TEST(ZipfTest, LowThetaIsCloserToUniform) {
+  ZipfGenerator zipf(100, 0.1, 42);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.Next()]++;
+  // Hottest key should be well below 10% of accesses.
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  EXPECT_LT(max_count, 10000);
+}
+
+// ---------------------------------------------------------------- Bitset --
+
+TEST(FixedBitsetTest, SetTestClear) {
+  FailedIdBitset bits;
+  EXPECT_FALSE(bits.Test(0));
+  EXPECT_FALSE(bits.Test(65535));
+  bits.Set(0);
+  bits.Set(65535);
+  bits.Set(1234);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(65535));
+  EXPECT_TRUE(bits.Test(1234));
+  EXPECT_FALSE(bits.Test(1233));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Clear(1234);
+  EXPECT_FALSE(bits.Test(1234));
+  EXPECT_EQ(bits.Count(), 2u);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(FixedBitsetTest, CopyFrom) {
+  FailedIdBitset a, b;
+  a.Set(7);
+  a.Set(700);
+  b.CopyFrom(a);
+  EXPECT_TRUE(b.Test(7));
+  EXPECT_TRUE(b.Test(700));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(FixedBitsetTest, ConcurrentSetsAreAllVisible) {
+  FailedIdBitset bits;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bits, t] {
+      for (int i = 0; i < kPerThread; ++i) bits.Set(t * kPerThread + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bits.Count(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------- Coding --
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  char buf[8];
+  EncodeFixed64(buf, 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(DecodeFixed64(buf), 0xdeadbeefcafebabeULL);
+}
+
+TEST(CodingTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 8), 0u);
+  EXPECT_EQ(AlignUp(1, 8), 8u);
+  EXPECT_EQ(AlignUp(8, 8), 8u);
+  EXPECT_EQ(AlignUp(9, 8), 16u);
+  EXPECT_EQ(AlignUp(100, 64), 128u);
+}
+
+// -------------------------------------------------------------- Checksum --
+
+TEST(ChecksumTest, Fnv1aDiffersOnDifferentInput) {
+  const char a[] = "transaction log record";
+  const char b[] = "transaction log recorD";
+  EXPECT_NE(Fnv1a64(a, sizeof(a)), Fnv1a64(b, sizeof(b)));
+  EXPECT_EQ(Fnv1a64(a, sizeof(a)), Fnv1a64(a, sizeof(a)));
+}
+
+TEST(ChecksumTest, HashKeySpreadsConsecutiveKeys) {
+  std::set<uint64_t> buckets;
+  for (uint64_t k = 0; k < 1000; ++k) buckets.insert(HashKey(k) % 64);
+  // Consecutive keys must not all land in a few buckets.
+  EXPECT_GT(buckets.size(), 32u);
+}
+
+// ------------------------------------------------------------ AtomicCopy --
+
+TEST(AtomicCopyTest, RoundTrip) {
+  alignas(8) char region[64];
+  std::memset(region, 0, sizeof(region));
+  alignas(8) char src[32];
+  for (int i = 0; i < 32; ++i) src[i] = static_cast<char>(i * 3);
+  AtomicCopyToRegion(region + 8, src, 32);
+  alignas(8) char dst[32];
+  AtomicCopyFromRegion(dst, region + 8, 32);
+  EXPECT_EQ(std::memcmp(src, dst, 32), 0);
+}
+
+TEST(AtomicCopyTest, Cas64) {
+  alignas(8) uint64_t word = 10;
+  uint64_t observed = 0;
+  EXPECT_FALSE(AtomicCas64(&word, 11, 20, &observed));
+  EXPECT_EQ(observed, 10u);
+  EXPECT_EQ(word, 10u);
+  EXPECT_TRUE(AtomicCas64(&word, 10, 20, &observed));
+  EXPECT_EQ(observed, 10u);
+  EXPECT_EQ(word, 20u);
+}
+
+TEST(AtomicCopyTest, FetchAdd64) {
+  alignas(8) uint64_t word = 5;
+  EXPECT_EQ(AtomicFetchAdd64(&word, 3), 5u);
+  EXPECT_EQ(word, 8u);
+}
+
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileNanos(50), 0u);
+  EXPECT_EQ(h.MeanNanos(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.MaxNanos(), 1000u);
+  // Log buckets: the percentile is within one sub-bucket (<= 25% error).
+  EXPECT_GE(h.PercentileNanos(50), 768u);
+  EXPECT_LE(h.PercentileNanos(50), 1024u);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  const uint64_t p10 = h.PercentileNanos(10);
+  const uint64_t p50 = h.PercentileNanos(50);
+  const uint64_t p99 = h.PercentileNanos(99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  // p50 of uniform 1..10000 is ~5000; log-bucket error <= 25%.
+  EXPECT_GE(p50, 3500u);
+  EXPECT_LE(p50, 6500u);
+  EXPECT_GE(p99, 7000u);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(h.MeanNanos(), 5000.5, 1.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(100);
+  for (int i = 0; i < 100; ++i) b.Record(1'000'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_LT(a.PercentileNanos(25), 200u);
+  EXPECT_GT(a.PercentileNanos(75), 500'000u);
+  EXPECT_EQ(a.MaxNanos(), 1'000'000u);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(~0ULL);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.MaxNanos(), ~0ULL);
+}
+
+// ----------------------------------------------------------------- Clock --
+
+TEST(ClockTest, MonotonicAndSpin) {
+  const uint64_t t0 = NowNanos();
+  SpinForNanos(100000);  // 100 us
+  const uint64_t t1 = NowNanos();
+  EXPECT_GE(t1 - t0, 100000u);
+  EXPECT_GE(NowMicros(), t0 / 1000);
+}
+
+}  // namespace
+}  // namespace pandora

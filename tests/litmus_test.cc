@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "litmus/checker.h"
+#include "litmus/harness.h"
+#include "litmus/litmus_spec.h"
+
+namespace pandora {
+namespace litmus {
+namespace {
+
+// ---------------------------------------------------------------- Checker --
+
+TxnObservation Committed(std::vector<std::optional<uint64_t>> reads = {}) {
+  TxnObservation obs;
+  obs.outcome = TxnObservation::Outcome::kCommitted;
+  obs.reads = std::move(reads);
+  return obs;
+}
+
+TxnObservation Aborted() {
+  TxnObservation obs;
+  obs.outcome = TxnObservation::Outcome::kAborted;
+  return obs;
+}
+
+TxnObservation Unknown() {
+  TxnObservation obs;
+  obs.outcome = TxnObservation::Outcome::kUnknown;
+  return obs;
+}
+
+TEST(CheckerTest, Litmus1SerialOutcomesAccepted) {
+  const LitmusSpec spec = Litmus1();  // three writers of {X, Y}
+  SerializabilityChecker checker(spec);
+  std::string why;
+  // T1 then T2 then T3: X=Y=3.
+  EXPECT_TRUE(checker.Check({Committed(), Committed(), Committed()},
+                            {3, 3}, &why))
+      << why;
+  // Only T2 committed.
+  EXPECT_TRUE(checker.Check({Aborted(), Committed(), Aborted()}, {2, 2},
+                            &why))
+      << why;
+  // Nothing committed: initial state.
+  EXPECT_TRUE(checker.Check({Aborted(), Aborted(), Aborted()}, {0, 0},
+                            &why))
+      << why;
+}
+
+TEST(CheckerTest, Litmus1MixedStateRejected) {
+  const LitmusSpec spec = Litmus1();
+  SerializabilityChecker checker(spec);
+  std::string why;
+  EXPECT_FALSE(checker.Check({Committed(), Committed(), Aborted()},
+                             {1, 2}, &why));
+  EXPECT_FALSE(why.empty());
+  // Aborted txn's effects must not appear.
+  EXPECT_FALSE(checker.Check({Committed(), Aborted(), Aborted()}, {2, 2},
+                             nullptr));
+}
+
+TEST(CheckerTest, UnknownTxnMayOrMayNotApply) {
+  const LitmusSpec spec = Litmus1();
+  SerializabilityChecker checker(spec);
+  // T1 crashed: both "applied fully" and "rolled back" final states are
+  // acceptable — but a half-applied state is not.
+  EXPECT_TRUE(checker.Check({Unknown(), Aborted(), Aborted()}, {1, 1},
+                            nullptr));
+  EXPECT_TRUE(checker.Check({Unknown(), Aborted(), Aborted()}, {0, 0},
+                            nullptr));
+  EXPECT_FALSE(checker.Check({Unknown(), Aborted(), Aborted()}, {1, 0},
+                             nullptr));
+}
+
+TEST(CheckerTest, Litmus2CycleRejected) {
+  const LitmusSpec spec = Litmus2();
+  SerializabilityChecker checker(spec);
+  std::string why;
+  // Serial: T1 (reads X=0, writes Y=1) then T2 (reads Y=1, writes X=2).
+  EXPECT_TRUE(checker.Check({Committed({0}), Committed({1})}, {2, 1},
+                            &why))
+      << why;
+  // The both-read-zero cycle: X=1, Y=1 — not serializable.
+  EXPECT_FALSE(checker.Check({Committed({0}), Committed({0})}, {1, 1},
+                             nullptr));
+}
+
+TEST(CheckerTest, ObservedReadsConstrainOrder) {
+  const LitmusSpec spec = Litmus2();
+  SerializabilityChecker checker(spec);
+  // Final state {X=2, Y=1} fits T1->T2 but only if T2 read Y=1. If T2
+  // claims it read Y=0 the run is not serializable.
+  EXPECT_FALSE(checker.Check({Committed({0}), Committed({0})}, {2, 1},
+                             nullptr));
+}
+
+TEST(CheckerTest, Litmus3ObserversChecked) {
+  const LitmusSpec spec = Litmus3();
+  SerializabilityChecker checker(spec);
+  std::string why;
+  // T1, T2 increment X and write Y/Z; T3 observes (X=1, Y=1) between
+  // them; T4 observes the final (X=2, Z=2)... which only fits the order
+  // T1, T3, T2, T4.
+  EXPECT_TRUE(checker.Check({Committed({0}), Committed({1}),
+                             Committed({1, 1}), Committed({2, 2})},
+                            {2, 1, 2}, &why))
+      << why;
+  // An observer seeing Y > X contradicts every order.
+  EXPECT_FALSE(checker.Check({Committed({0}), Committed({1}),
+                              Committed({0, 1}), Committed({2, 2})},
+                             {2, 1, 2}, nullptr));
+}
+
+TEST(CheckerTest, InsertsAndDeletesModelAbsence) {
+  const LitmusSpec spec = Litmus1Deletes();
+  SerializabilityChecker checker(spec);
+  std::string why;
+  // T2 (delete) after T1 (write): both absent.
+  EXPECT_TRUE(checker.Check({Committed(), Committed()},
+                            {std::nullopt, std::nullopt}, &why))
+      << why;
+  // T1 after T2: X=Y=1.
+  EXPECT_TRUE(checker.Check({Committed(), Committed()}, {1, 1}, &why))
+      << why;
+  // Half-deleted state rejected.
+  EXPECT_FALSE(checker.Check({Committed(), Committed()},
+                             {std::nullopt, 1}, nullptr));
+}
+
+TEST(CheckerTest, FormatVarState) {
+  EXPECT_EQ(FormatVarState({1, std::nullopt, 3}), "{X=1, Y=absent, Z=3}");
+}
+
+// ---------------------------------------------------------------- Harness --
+
+HarnessConfig FastConfig() {
+  HarnessConfig config;
+  config.iterations = 40;
+  config.crash_percent = 60;
+  // A little simulated fabric latency stretches each transaction to
+  // realistic tens of microseconds so concurrent programs genuinely
+  // overlap.
+  config.net.one_way_ns = 1500;
+  config.net.per_byte_ns = 0;
+  // Generous FD timing: with 2 physical cores and dozens of simulation
+  // threads, heartbeat pumps can starve for several milliseconds, and
+  // tight timeouts flood the run with false positives. (False positives
+  // remain *safe* — FalsePositiveCannotCorruptMemory covers that — they
+  // are just noise here.)
+  config.fd.timeout_us = 30'000;
+  config.fd.heartbeat_period_us = 2000;
+  config.fd.poll_period_us = 2000;
+  return config;
+}
+
+// Pandora must pass every litmus test under randomized crash injection.
+class PandoraLitmusSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PandoraLitmusSweep, NoViolations) {
+  const std::vector<LitmusSpec> specs = AllLitmusSpecs();
+  const LitmusSpec& spec = specs[GetParam()];
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kPandora;
+  config.seed = 1000 + GetParam();
+  LitmusHarness harness(config);
+  const LitmusReport report = harness.Run(spec);
+  EXPECT_EQ(report.violations, 0)
+      << spec.name << ": " <<
+      (report.failures.empty() ? "" : report.failures[0]);
+  EXPECT_EQ(report.iterations, config.iterations);
+  EXPECT_GT(report.committed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, PandoraLitmusSweep,
+                         ::testing::Range(0, 9));
+
+// The fixed FORD Baseline (with Pandora's recovery + scan) must also pass.
+TEST(LitmusHarnessTest, FixedBaselinePassesCoreSpecs) {
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kFordBaseline;
+  config.iterations = 25;
+  LitmusHarness harness(config);
+  for (const auto& spec :
+       {Litmus1(), Litmus2(), Litmus3AbortLogging()}) {
+    const LitmusReport report = harness.Run(spec);
+    EXPECT_EQ(report.violations, 0)
+        << spec.name << ": "
+        << (report.failures.empty() ? "" : report.failures[0]);
+  }
+}
+
+TEST(LitmusHarnessTest, TraditionalLoggingPassesCoreSpecs) {
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kTraditionalLogging;
+  config.iterations = 25;
+  LitmusHarness harness(config);
+  for (const auto& spec : {Litmus1(), Litmus2()}) {
+    const LitmusReport report = harness.Run(spec);
+    EXPECT_EQ(report.violations, 0)
+        << spec.name << ": "
+        << (report.failures.empty() ? "" : report.failures[0]);
+  }
+}
+
+
+// Randomized compound litmus fuzzing: Pandora must stay serializable on
+// machine-generated transaction mixes too, crashes included.
+class LitmusFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LitmusFuzz, PandoraSerializable) {
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kPandora;
+  config.iterations = 20;
+  config.seed = 5000 + GetParam();
+  LitmusHarness harness(config);
+  const LitmusSpec spec = RandomLitmusSpec(GetParam());
+  const LitmusReport report = harness.Run(spec);
+  EXPECT_EQ(report.violations, 0)
+      << spec.name << ": "
+      << (report.failures.empty() ? "" : report.failures[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LitmusFuzz,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(LitmusFuzzSpec, GeneratorIsDeterministicAndWellFormed) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const LitmusSpec a = RandomLitmusSpec(seed);
+    const LitmusSpec b = RandomLitmusSpec(seed);
+    ASSERT_EQ(a.txns.size(), b.txns.size());
+    ASSERT_GE(a.txns.size(), 2u);
+    ASSERT_LE(a.txns.size(), 4u);
+    ASSERT_GE(a.initial.size(), 2u);
+    for (size_t t = 0; t < a.txns.size(); ++t) {
+      ASSERT_EQ(a.txns[t].ops.size(), b.txns[t].ops.size());
+      ASSERT_GE(a.txns[t].ops.size(), 2u);
+      for (size_t o = 0; o < a.txns[t].ops.size(); ++o) {
+        EXPECT_EQ(static_cast<int>(a.txns[t].ops[o].kind),
+                  static_cast<int>(b.txns[t].ops[o].kind));
+        EXPECT_LT(a.txns[t].ops[o].dst, a.initial.size());
+      }
+    }
+  }
+}
+
+// --- Bug reproduction: each Table-1 bug must be *caught* by the framework.
+//
+// Bug manifestation is probabilistic (it needs a racy interleaving, and
+// sometimes a crash at one specific protocol point), so each check runs
+// batches of iterations with fresh seeds until the framework reports a
+// violation, up to a generous cap. A bug the framework cannot catch at all
+// still fails deterministically.
+
+void ExpectBugCaught(txn::ProtocolMode mode, txn::BugFlags bugs,
+                     const LitmusSpec& spec, uint32_t crash_percent,
+                     uint64_t base_seed, const char* bug_name) {
+  constexpr int kBatches = 12;
+  constexpr int kIterationsPerBatch = 120;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    HarnessConfig config = FastConfig();
+    config.txn.mode = mode;
+    config.txn.bugs = bugs;
+    config.iterations = kIterationsPerBatch;
+    config.crash_percent = crash_percent;
+    config.seed = base_seed + static_cast<uint64_t>(batch) * 101;
+    LitmusHarness harness(config);
+    const LitmusReport report = harness.Run(spec);
+    if (report.violations > 0) return;  // Caught.
+  }
+  FAIL() << "litmus framework failed to catch " << bug_name << " after "
+         << kBatches * kIterationsPerBatch << " iterations";
+}
+
+TEST(LitmusBugHunt, ComplicitAbortCaught) {
+  txn::BugFlags bugs;
+  bugs.complicit_abort = true;
+  ExpectBugCaught(txn::ProtocolMode::kPandora, bugs, Litmus1LockRelease(),
+                  /*crash_percent=*/0, /*seed=*/7, "Complicit Aborts");
+}
+
+TEST(LitmusBugHunt, CovertLocksCaught) {
+  txn::BugFlags bugs;
+  bugs.covert_locks = true;
+  ExpectBugCaught(txn::ProtocolMode::kPandora, bugs, Litmus2(),
+                  /*crash_percent=*/0, /*seed=*/11, "Covert Locks");
+}
+
+TEST(LitmusBugHunt, RelaxedLocksCaught) {
+  txn::BugFlags bugs;
+  bugs.relaxed_locks = true;
+  ExpectBugCaught(txn::ProtocolMode::kPandora, bugs, Litmus2(),
+                  /*crash_percent=*/0, /*seed=*/13, "Relaxed Locks");
+}
+
+TEST(LitmusBugHunt, MissingInsertLoggingCaught) {
+  txn::BugFlags bugs;
+  bugs.missing_insert_logging = true;
+  ExpectBugCaught(txn::ProtocolMode::kFordBaseline, bugs, Litmus1Inserts(),
+                  /*crash_percent=*/100, /*seed=*/17, "Missing Actions");
+}
+
+TEST(LitmusBugHunt, LostDecisionCaught) {
+  txn::BugFlags bugs;
+  bugs.lost_decision = true;
+  ExpectBugCaught(txn::ProtocolMode::kFordBaseline, bugs,
+                  Litmus3AbortLogging(), /*crash_percent=*/100,
+                  /*seed=*/19, "Lost Decision");
+}
+
+TEST(LitmusBugHunt, LoggingWithoutLockingCaught) {
+  txn::BugFlags bugs;
+  bugs.logging_without_locking = true;
+  bugs.lost_decision = true;  // The FORD corner case combines both.
+  ExpectBugCaught(txn::ProtocolMode::kFordBaseline, bugs,
+                  Litmus1PartialOverlap(), /*crash_percent=*/100,
+                  /*seed=*/23, "Logging-without-locking");
+}
+
+}  // namespace
+}  // namespace litmus
+}  // namespace pandora

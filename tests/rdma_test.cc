@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "rdma/fabric.h"
+
+namespace pandora {
+namespace rdma {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NetworkConfig config;
+    config.one_way_ns = 0;  // Semantics-only: no latency simulation.
+    config.per_byte_ns = 0;
+    fabric_ = std::make_unique<Fabric>(config);
+    pd_ = fabric_->AttachMemoryNode(kMemNode);
+    rkey_ = pd_->RegisterRegion(4096, "test-region");
+    qp_ = fabric_->CreateQueuePair(kComputeNode, kMemNode);
+  }
+
+  static constexpr NodeId kMemNode = 0;
+  static constexpr NodeId kComputeNode = 1;
+
+  std::unique_ptr<Fabric> fabric_;
+  ProtectionDomain* pd_ = nullptr;
+  RKey rkey_ = kInvalidRKey;
+  std::unique_ptr<QueuePair> qp_;
+};
+
+TEST_F(FabricTest, WriteThenReadRoundTrip) {
+  alignas(8) char out[16] = "hello rdma!!!!";
+  ASSERT_TRUE(qp_->Write(rkey_, 64, out, 16).ok());
+  alignas(8) char in[16] = {0};
+  ASSERT_TRUE(qp_->Read(rkey_, 64, in, 16).ok());
+  EXPECT_EQ(std::memcmp(out, in, 16), 0);
+}
+
+TEST_F(FabricTest, RegionIsZeroInitialized) {
+  alignas(8) uint64_t word = 0xff;
+  ASSERT_TRUE(qp_->Read(rkey_, 128, &word, 8).ok());
+  EXPECT_EQ(word, 0u);
+}
+
+TEST_F(FabricTest, CompareSwapSemantics) {
+  uint64_t observed = 0;
+  // CAS on zeroed word: succeed.
+  ASSERT_TRUE(qp_->CompareSwap(rkey_, 0, 0, 42, &observed).ok());
+  EXPECT_EQ(observed, 0u);
+  // CAS with wrong expected: verb completes, returns current value.
+  ASSERT_TRUE(qp_->CompareSwap(rkey_, 0, 7, 99, &observed).ok());
+  EXPECT_EQ(observed, 42u);
+  // Verify memory unchanged by failed CAS.
+  uint64_t value = 0;
+  ASSERT_TRUE(qp_->Read(rkey_, 0, &value, 8).ok());
+  EXPECT_EQ(value, 42u);
+}
+
+TEST_F(FabricTest, FetchAddSemantics) {
+  uint64_t old_value = 99;
+  ASSERT_TRUE(qp_->FetchAdd(rkey_, 8, 5, &old_value).ok());
+  EXPECT_EQ(old_value, 0u);
+  ASSERT_TRUE(qp_->FetchAdd(rkey_, 8, 5, &old_value).ok());
+  EXPECT_EQ(old_value, 5u);
+  uint64_t value = 0;
+  ASSERT_TRUE(qp_->Read(rkey_, 8, &value, 8).ok());
+  EXPECT_EQ(value, 10u);
+}
+
+TEST_F(FabricTest, OutOfBoundsAccessRejected) {
+  alignas(8) char buf[16];
+  EXPECT_TRUE(qp_->Read(rkey_, 4096, buf, 16).IsInvalidArgument());
+  EXPECT_TRUE(qp_->Read(rkey_, 4088, buf, 16).IsInvalidArgument());
+  EXPECT_TRUE(qp_->Write(rkey_, 1u << 30, buf, 8).IsInvalidArgument());
+}
+
+TEST_F(FabricTest, MisalignedAccessRejected) {
+  alignas(8) char buf[8];
+  EXPECT_TRUE(qp_->Read(rkey_, 3, buf, 8).IsInvalidArgument());
+}
+
+TEST_F(FabricTest, UnknownRkeyRejected) {
+  alignas(8) char buf[8];
+  EXPECT_TRUE(qp_->Read(777, 0, buf, 8).IsInvalidArgument());
+}
+
+TEST_F(FabricTest, HaltedNodeCannotIssueVerbs) {
+  alignas(8) uint64_t word = 1;
+  ASSERT_TRUE(qp_->Write(rkey_, 0, &word, 8).ok());
+  fabric_->HaltNode(kComputeNode);
+  EXPECT_TRUE(qp_->Write(rkey_, 0, &word, 8).IsUnavailable());
+  EXPECT_TRUE(qp_->Read(rkey_, 0, &word, 8).IsUnavailable());
+  uint64_t observed;
+  EXPECT_TRUE(qp_->CompareSwap(rkey_, 0, 1, 2, &observed).IsUnavailable());
+  // Memory keeps the pre-halt state.
+  fabric_->ResumeNode(kComputeNode);
+  uint64_t value = 0;
+  ASSERT_TRUE(qp_->Read(rkey_, 0, &value, 8).ok());
+  EXPECT_EQ(value, 1u);
+}
+
+TEST_F(FabricTest, RevokedNodeIsDroppedAtMemory) {
+  // Active-link termination: the *memory side* rejects, so this protects
+  // against a falsely-suspected node that is still alive and issuing verbs.
+  alignas(8) uint64_t word = 7;
+  pd_->RevokeNode(kComputeNode);
+  EXPECT_TRUE(qp_->Write(rkey_, 0, &word, 8).IsPermissionDenied());
+  uint64_t observed;
+  EXPECT_TRUE(
+      qp_->CompareSwap(rkey_, 0, 0, 1, &observed).IsPermissionDenied());
+
+  // Another compute node is unaffected.
+  auto qp2 = fabric_->CreateQueuePair(2, kMemNode);
+  EXPECT_TRUE(qp2->Write(rkey_, 0, &word, 8).ok());
+
+  // Restoration re-admits the node (used when a false positive is resolved
+  // by re-admitting the server under a fresh coordinator-id).
+  pd_->RestoreNode(kComputeNode);
+  EXPECT_TRUE(qp_->Write(rkey_, 0, &word, 8).ok());
+}
+
+TEST_F(FabricTest, RevokeEverywhereCoversAllMemoryNodes) {
+  ProtectionDomain* pd2 = fabric_->AttachMemoryNode(5);
+  const RKey rkey2 = pd2->RegisterRegion(256, "r2");
+  auto qp2 = fabric_->CreateQueuePair(kComputeNode, 5);
+
+  fabric_->RevokeNodeEverywhere(kComputeNode);
+  alignas(8) uint64_t word = 1;
+  EXPECT_TRUE(qp_->Write(rkey_, 0, &word, 8).IsPermissionDenied());
+  EXPECT_TRUE(qp2->Write(rkey2, 0, &word, 8).IsPermissionDenied());
+  fabric_->RestoreNodeEverywhere(kComputeNode);
+  EXPECT_TRUE(qp2->Write(rkey2, 0, &word, 8).ok());
+}
+
+TEST_F(FabricTest, ConcurrentCasExactlyOneWinnerPerValue) {
+  // N threads CAS-increment the same word through their own QPs; the final
+  // value must equal the number of successful CASes (atomicity check).
+  constexpr int kThreads = 8;
+  constexpr int kAttempts = 2000;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &successes, t] {
+      auto qp = fabric_->CreateQueuePair(static_cast<NodeId>(10 + t),
+                                         kMemNode);
+      for (int i = 0; i < kAttempts; ++i) {
+        uint64_t current = 0;
+        ASSERT_TRUE(qp->Read(rkey_, 256, &current, 8).ok());
+        uint64_t observed = 0;
+        ASSERT_TRUE(
+            qp->CompareSwap(rkey_, 256, current, current + 1, &observed)
+                .ok());
+        if (observed == current) successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  uint64_t final_value = 0;
+  ASSERT_TRUE(qp_->Read(rkey_, 256, &final_value, 8).ok());
+  EXPECT_EQ(final_value, static_cast<uint64_t>(successes.load()));
+}
+
+TEST(NetworkModelTest, RttScalesWithPayload) {
+  NetworkConfig config;
+  config.one_way_ns = 1000;
+  config.per_byte_ns = 1.0;
+  NetworkModel net(config);
+  EXPECT_EQ(net.RttNanos(0, 0), 2000u);
+  EXPECT_EQ(net.RttNanos(0, 64), 2064u);
+  EXPECT_EQ(net.RttNanos(128, 64), 2192u);
+  EXPECT_TRUE(net.latency_enabled());
+
+  NetworkModel off{NetworkConfig{.one_way_ns = 0, .per_byte_ns = 0}};
+  EXPECT_FALSE(off.latency_enabled());
+}
+
+TEST(LatencySimulationTest, VerbTakesAtLeastModeledRtt) {
+  NetworkConfig config;
+  config.one_way_ns = 50000;  // 50 us one way: measurable.
+  config.per_byte_ns = 0;
+  Fabric fabric(config);
+  ProtectionDomain* pd = fabric.AttachMemoryNode(0);
+  const RKey rkey = pd->RegisterRegion(64, "r");
+  auto qp = fabric.CreateQueuePair(1, 0);
+
+  alignas(8) uint64_t word = 3;
+  const uint64_t t0 = NowNanos();
+  ASSERT_TRUE(qp->Write(rkey, 0, &word, 8).ok());
+  EXPECT_GE(NowNanos() - t0, 100000u);
+}
+
+TEST(VerbBatchTest, BatchAppliesAllAndReportsFirstError) {
+  Fabric fabric(NetworkConfig{.one_way_ns = 0, .per_byte_ns = 0});
+  ProtectionDomain* pd = fabric.AttachMemoryNode(0);
+  const RKey rkey = pd->RegisterRegion(256, "r");
+  auto qp = fabric.CreateQueuePair(1, 0);
+
+  alignas(8) uint64_t a = 11, b = 22;
+  VerbBatch batch;
+  batch.Write(qp.get(), rkey, 0, &a, 8);
+  batch.Write(qp.get(), rkey, 8, &b, 8);
+  alignas(8) char bad[8];
+  batch.Read(qp.get(), rkey, 9999, bad, 8);  // out of bounds
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch.Execute().IsInvalidArgument());
+
+  // Successful ops still landed.
+  uint64_t v = 0;
+  ASSERT_TRUE(qp->Read(rkey, 0, &v, 8).ok());
+  EXPECT_EQ(v, 11u);
+  ASSERT_TRUE(qp->Read(rkey, 8, &v, 8).ok());
+  EXPECT_EQ(v, 22u);
+
+  // Batch is reusable after Execute.
+  batch.Write(qp.get(), rkey, 16, &a, 8);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch.Execute().ok());
+}
+
+TEST(VerbBatchTest, BatchLatencyIsMaxNotSum) {
+  NetworkConfig config;
+  config.one_way_ns = 30000;  // 60 us RTT
+  config.per_byte_ns = 0;
+  Fabric fabric(config);
+  ProtectionDomain* pd = fabric.AttachMemoryNode(0);
+  const RKey rkey = pd->RegisterRegion(256, "r");
+  auto qp = fabric.CreateQueuePair(1, 0);
+
+  alignas(8) uint64_t w = 1;
+  VerbBatch batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.Write(qp.get(), rkey, static_cast<uint64_t>(i) * 8, &w, 8);
+  }
+  const uint64_t t0 = NowNanos();
+  ASSERT_TRUE(batch.Execute().ok());
+  const uint64_t elapsed = NowNanos() - t0;
+  EXPECT_GE(elapsed, 60000u);
+  // Must be far below 8 sequential RTTs (480 us); allow generous slack.
+  EXPECT_LT(elapsed, 300000u);
+}
+
+}  // namespace
+}  // namespace rdma
+}  // namespace pandora

@@ -1,0 +1,737 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "common/coding.h"
+#include "recovery/recovery_manager.h"
+#include "store/remote_object.h"
+#include "common/logging.h"
+#include "txn/coordinator.h"
+
+namespace pandora {
+namespace recovery {
+namespace {
+
+// Crash hook that fires at the Nth occurrence of a given crash point.
+class CrashAt : public txn::CrashHook {
+ public:
+  CrashAt(txn::CrashPoint point, int occurrence = 1)
+      : point_(point), remaining_(occurrence) {}
+
+  bool MaybeCrash(txn::CrashPoint point) override {
+    if (point != point_) return false;
+    return --remaining_ == 0;
+  }
+
+ private:
+  txn::CrashPoint point_;
+  int remaining_;
+};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Rebuild(txn::ProtocolMode::kPandora); }
+
+  void Rebuild(txn::ProtocolMode mode) {
+    manager_.reset();
+    cluster_.reset();
+
+    cluster::ClusterConfig config;
+    config.memory_nodes = 3;
+    config.compute_nodes = 2;
+    config.replication = 2;
+    config.net.one_way_ns = 0;
+    config.net.per_byte_ns = 0;
+    config.log.max_coordinators = 512;
+    cluster_ = std::make_unique<cluster::Cluster>(config);
+    table_ = cluster_->CreateTable("t", /*value_size=*/16, 512);
+    for (store::Key k = 0; k < 200; ++k) {
+      ASSERT_TRUE(cluster_->LoadRow(table_, k, Padded("init")).ok());
+    }
+
+    RecoveryManagerConfig rm_config;
+    rm_config.mode = mode;
+    rm_config.fd.timeout_us = 5000;
+    manager_ = std::make_unique<RecoveryManager>(cluster_.get(), rm_config,
+                                                 &gate_);
+    manager_->Start();
+
+    mode_ = mode;
+    txn_config_ = txn::TxnConfig();
+    txn_config_.mode = mode;
+  }
+
+  std::string Padded(const std::string& s) {
+    std::string v = s;
+    v.resize(16, '\0');
+    return v;
+  }
+
+  std::unique_ptr<txn::Coordinator> MakeCoordinator(uint32_t compute_index) {
+    std::vector<uint16_t> ids;
+    const Status status = manager_->RegisterComputeNode(
+        cluster_->compute(compute_index), 1, &ids);
+    PANDORA_CHECK(status.ok());
+    return std::make_unique<txn::Coordinator>(
+        cluster_.get(), cluster_->compute(compute_index), ids[0],
+        txn_config_, &gate_);
+  }
+
+  // Runs a transaction that writes `keys` and crashes at `point`; then
+  // waits for the heartbeat-driven recovery to complete.
+  void CrashDuringTxn(txn::Coordinator* coord, txn::CrashPoint point,
+                      const std::vector<store::Key>& keys,
+                      const std::string& value) {
+    CrashAt hook(point);
+    coord->set_crash_hook(&hook);
+    ASSERT_TRUE(coord->Begin().ok());
+    Status status;
+    for (const store::Key key : keys) {
+      status = coord->Write(table_, key, Padded(value));
+      if (!status.ok()) break;
+    }
+    if (status.ok()) status = coord->Commit();
+    ASSERT_TRUE(status.IsUnavailable())
+        << "expected injected crash, got " << status.ToString();
+    ASSERT_TRUE(manager_->WaitForComputeRecovery(
+        cluster_->compute_node_id(0), /*timeout_us=*/3'000'000))
+        << "recovery did not complete";
+  }
+
+  std::string ReadCommitted(store::Key key) {
+    auto reader = MakeCoordinator(1);
+    EXPECT_TRUE(reader->Begin().ok());
+    std::string value;
+    EXPECT_TRUE(reader->Read(table_, key, &value).ok());
+    EXPECT_TRUE(reader->Commit().ok());
+    return value;
+  }
+
+  bool KeyVisible(store::Key key) {
+    auto reader = MakeCoordinator(1);
+    EXPECT_TRUE(reader->Begin().ok());
+    std::string value;
+    const Status status = reader->Read(table_, key, &value);
+    EXPECT_TRUE(reader->Commit().ok());
+    return status.ok();
+  }
+
+  // All replicas of `key` must be unlocked and agree on version+value.
+  void ExpectConsistentAndUnlocked(store::Key key) {
+    const auto& info = cluster_->catalog().table(table_);
+    uint64_t version = 0;
+    std::string value;
+    bool first = true;
+    for (const rdma::NodeId node : cluster_->ReplicasFor(table_, key)) {
+      if (!cluster_->membership().IsMemoryAlive(node)) continue;
+      store::SlotState state;
+      rdma::QueuePair* qp = cluster_->compute(1)->qp(node);
+      ASSERT_TRUE(store::FindSlotByProbe(qp, info.region_rkeys[node],
+                                         info.layout, key, &state)
+                      .ok());
+      EXPECT_FALSE(store::LockHeld(state.lock))
+          << "key " << key << " locked on node " << node;
+      alignas(8) char buf[16];
+      ASSERT_TRUE(qp->Read(info.region_rkeys[node],
+                           info.layout.ValueOffset(state.slot), buf, 16)
+                      .ok());
+      if (first) {
+        version = store::VersionOf(state.version);
+        value.assign(buf, 16);
+        first = false;
+      } else {
+        EXPECT_EQ(store::VersionOf(state.version), version)
+            << "replica version divergence on key " << key;
+        EXPECT_EQ(std::string(buf, 16), value)
+            << "replica value divergence on key " << key;
+      }
+    }
+  }
+
+  txn::SystemGate gate_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<RecoveryManager> manager_;
+  store::TableId table_ = 0;
+  txn::ProtocolMode mode_ = txn::ProtocolMode::kPandora;
+  txn::TxnConfig txn_config_;
+};
+
+TEST_F(RecoveryTest, HeartbeatDetectsSilentNode) {
+  auto coord = MakeCoordinator(0);
+  cluster_->CrashComputeNode(cluster_->compute_node_id(0));
+  EXPECT_TRUE(manager_->WaitForComputeRecovery(cluster_->compute_node_id(0),
+                                               2'000'000));
+  EXPECT_TRUE(manager_->fd().failed_ids().Test(coord->coord_id()));
+  // Survivors received the stray-lock notification.
+  EXPECT_TRUE(cluster_->compute(1)->failed_ids().Test(coord->coord_id()));
+}
+
+TEST_F(RecoveryTest, CrashBeforeLoggingRollsNothingLocksStealable) {
+  auto c0 = MakeCoordinator(0);
+  // Crash right after taking the first lock — no log exists yet.
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kAfterLockFetch, {5, 6},
+                 "never");
+  const RecoveryStats stats = manager_->last_recovery_stats();
+  EXPECT_EQ(stats.rolled_forward + stats.rolled_back, 0u);
+
+  // The lock on key 5 is stray; a survivor steals it through PILL and the
+  // old value is intact.
+  EXPECT_EQ(ReadCommitted(5), Padded("init"));
+  auto c1 = MakeCoordinator(1);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 5, Padded("steal")).ok());
+  EXPECT_EQ(c1->stats().locks_stolen, 1u);
+  ASSERT_TRUE(c1->Commit().ok());
+  ExpectConsistentAndUnlocked(5);
+}
+
+TEST_F(RecoveryTest, CrashAfterLogBeforeApplyRollsBack) {
+  auto c0 = MakeCoordinator(0);
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kAfterValidation, {5, 6},
+                 "phantom");
+  const RecoveryStats stats = manager_->last_recovery_stats();
+  EXPECT_EQ(stats.rolled_back, 1u);
+  EXPECT_EQ(stats.rolled_forward, 0u);
+  EXPECT_EQ(ReadCommitted(5), Padded("init"));
+  EXPECT_EQ(ReadCommitted(6), Padded("init"));
+  ExpectConsistentAndUnlocked(5);
+  ExpectConsistentAndUnlocked(6);
+}
+
+TEST_F(RecoveryTest, CrashMidApplyRollsBackPartialUpdate) {
+  auto c0 = MakeCoordinator(0);
+  // First replica write lands, then the crash: memory holds a torn
+  // transaction that must be undone.
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kMidCommitApply, {5, 6},
+                 "partial");
+  const RecoveryStats stats = manager_->last_recovery_stats();
+  EXPECT_EQ(stats.rolled_back, 1u);
+  EXPECT_GE(stats.objects_restored, 1u);
+  EXPECT_EQ(ReadCommitted(5), Padded("init"));
+  EXPECT_EQ(ReadCommitted(6), Padded("init"));
+  ExpectConsistentAndUnlocked(5);
+  ExpectConsistentAndUnlocked(6);
+}
+
+TEST_F(RecoveryTest, CrashAfterFullApplyRollsForward) {
+  auto c0 = MakeCoordinator(0);
+  // All replicas updated, client possibly acked, locks still held.
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kAfterClientAck, {5, 6},
+                 "durable");
+  const RecoveryStats stats = manager_->last_recovery_stats();
+  EXPECT_EQ(stats.rolled_forward, 1u);
+  EXPECT_EQ(stats.rolled_back, 0u);
+  EXPECT_GE(stats.locks_released, 2u);
+  // Cor3: the ack was (possibly) delivered, so the update must survive.
+  EXPECT_EQ(ReadCommitted(5), Padded("durable"));
+  EXPECT_EQ(ReadCommitted(6), Padded("durable"));
+  ExpectConsistentAndUnlocked(5);
+  ExpectConsistentAndUnlocked(6);
+}
+
+TEST_F(RecoveryTest, CrashMidUnlockIsRolledForwardIdempotently) {
+  auto c0 = MakeCoordinator(0);
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kMidUnlock, {5, 6}, "done");
+  EXPECT_EQ(manager_->last_recovery_stats().rolled_forward, 1u);
+  EXPECT_EQ(ReadCommitted(5), Padded("done"));
+  EXPECT_EQ(ReadCommitted(6), Padded("done"));
+  ExpectConsistentAndUnlocked(5);
+  ExpectConsistentAndUnlocked(6);
+}
+
+TEST_F(RecoveryTest, CrashDuringAbortAfterTruncationLeavesStealableLocks) {
+  // A transaction that aborts, truncates its log, then crashes before
+  // releasing locks: recovery sees no logged txn; locks are stray.
+  auto c0 = MakeCoordinator(0);
+  CrashAt hook(txn::CrashPoint::kAfterAbortTruncate);
+  c0->set_crash_hook(&hook);
+  ASSERT_TRUE(c0->Begin().ok());
+  ASSERT_TRUE(c0->Write(table_, 5, Padded("doomed")).ok());
+  EXPECT_TRUE(c0->Abort().IsUnavailable());
+  ASSERT_TRUE(manager_->WaitForComputeRecovery(cluster_->compute_node_id(0),
+                                               3'000'000));
+  EXPECT_EQ(manager_->last_recovery_stats().logged_txns, 0u);
+  // Steal and carry on.
+  auto c1 = MakeCoordinator(1);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 5, Padded("fresh")).ok());
+  EXPECT_EQ(c1->stats().locks_stolen, 1u);
+  ASSERT_TRUE(c1->Commit().ok());
+}
+
+TEST_F(RecoveryTest, InsertRolledBackBecomesInvisible) {
+  auto c0 = MakeCoordinator(0);
+  CrashAt hook(txn::CrashPoint::kAfterValidation);
+  c0->set_crash_hook(&hook);
+  ASSERT_TRUE(c0->Begin().ok());
+  ASSERT_TRUE(c0->Insert(table_, 1000, Padded("ghost")).ok());
+  EXPECT_TRUE(c0->Commit().IsUnavailable());
+  ASSERT_TRUE(manager_->WaitForComputeRecovery(cluster_->compute_node_id(0),
+                                               3'000'000));
+  EXPECT_FALSE(KeyVisible(1000));
+}
+
+TEST_F(RecoveryTest, InsertRolledForwardIsVisible) {
+  auto c0 = MakeCoordinator(0);
+  CrashAt hook(txn::CrashPoint::kAfterClientAck);
+  c0->set_crash_hook(&hook);
+  ASSERT_TRUE(c0->Begin().ok());
+  ASSERT_TRUE(c0->Insert(table_, 1001, Padded("solid")).ok());
+  EXPECT_TRUE(c0->Commit().IsUnavailable());
+  ASSERT_TRUE(manager_->WaitForComputeRecovery(cluster_->compute_node_id(0),
+                                               3'000'000));
+  EXPECT_TRUE(KeyVisible(1001));
+  EXPECT_EQ(ReadCommitted(1001), Padded("solid"));
+}
+
+TEST_F(RecoveryTest, RecoveryIsIdempotent) {
+  auto c0 = MakeCoordinator(0);
+  const uint16_t id = c0->coord_id();
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kMidCommitApply, {5, 6},
+                 "partial");
+  EXPECT_EQ(ReadCommitted(5), Padded("init"));
+
+  // §3.2.3: any recovery step may be re-executed. Re-run the whole log
+  // recovery for the same coordinator; nothing may change.
+  ASSERT_TRUE(manager_
+                  ->RecoverComputeFailure(cluster_->compute_node_id(0),
+                                          {id})
+                  .ok());
+  EXPECT_EQ(ReadCommitted(5), Padded("init"));
+  EXPECT_EQ(ReadCommitted(6), Padded("init"));
+  ExpectConsistentAndUnlocked(5);
+  ExpectConsistentAndUnlocked(6);
+}
+
+TEST_F(RecoveryTest, StaleRecordOfCompletedTxnPreservesCommittedData) {
+  auto c0 = MakeCoordinator(0);
+  // Txn 1 commits cleanly (its log record remains valid in the slot).
+  ASSERT_TRUE(c0->Begin().ok());
+  ASSERT_TRUE(c0->Write(table_, 5, Padded("first")).ok());
+  ASSERT_TRUE(c0->Commit().ok());
+  // Txn 2 locks the same key and crashes before logging.
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kAfterLockFetch, {5}, "second");
+  // Processing the stale record of the committed txn 1 must not roll back
+  // txn 1's committed data. (Its roll-forward may release txn 2's
+  // not-logged stray lock outright — that is safe, since not-logged
+  // strays have no updates; the lock is then simply free instead of
+  // stealable.)
+  EXPECT_EQ(ReadCommitted(5), Padded("first"));
+  auto c1 = MakeCoordinator(1);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 5, Padded("third")).ok());
+  ASSERT_TRUE(c1->Commit().ok());
+  EXPECT_EQ(ReadCommitted(5), Padded("third"));
+  ExpectConsistentAndUnlocked(5);
+}
+
+TEST_F(RecoveryTest, FalsePositiveCannotCorruptMemory) {
+  // Declare a perfectly healthy node failed; active-link termination must
+  // fence it before recovery proceeds (Cor1).
+  auto c0 = MakeCoordinator(0);
+  ASSERT_TRUE(c0->Begin().ok());
+  ASSERT_TRUE(c0->Write(table_, 5, Padded("alive")).ok());
+
+  ASSERT_TRUE(manager_
+                  ->RecoverComputeFailure(cluster_->compute_node_id(0),
+                                          {c0->coord_id()})
+                  .ok());
+  // The fenced node's commit fails: its verbs are dropped at the memory
+  // side, so it cannot corrupt anything.
+  const Status status = c0->Commit();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ReadCommitted(5), Padded("init"));
+  // Survivors steal its lock as usual.
+  auto c1 = MakeCoordinator(1);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 5, Padded("moved-on")).ok());
+  ASSERT_TRUE(c1->Commit().ok());
+}
+
+TEST_F(RecoveryTest, BaselineScanReleasesStrayLocks) {
+  Rebuild(txn::ProtocolMode::kFordBaseline);
+  auto c0 = MakeCoordinator(0);
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kAfterLockFetch, {5}, "x");
+  const RecoveryStats stats = manager_->last_recovery_stats();
+  // The scan walked the whole KVS and released the stray lock.
+  EXPECT_GT(stats.slots_scanned, 0u);
+  EXPECT_GE(stats.locks_released, 1u);
+  // No stealing needed: the lock is already free.
+  auto c1 = MakeCoordinator(1);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 5, Padded("after-scan")).ok());
+  EXPECT_EQ(c1->stats().locks_stolen, 0u);
+  ASSERT_TRUE(c1->Commit().ok());
+}
+
+TEST_F(RecoveryTest, BaselinePerObjectLogsRollBack) {
+  Rebuild(txn::ProtocolMode::kFordBaseline);
+  auto c0 = MakeCoordinator(0);
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kMidCommitApply, {5, 6}, "p");
+  EXPECT_EQ(ReadCommitted(5), Padded("init"));
+  EXPECT_EQ(ReadCommitted(6), Padded("init"));
+  ExpectConsistentAndUnlocked(5);
+  ExpectConsistentAndUnlocked(6);
+}
+
+TEST_F(RecoveryTest, TraditionalLoggingRecoversLocksFromIntents) {
+  Rebuild(txn::ProtocolMode::kTraditionalLogging);
+  auto c0 = MakeCoordinator(0);
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kAfterLockFetch, {5}, "x");
+  const RecoveryStats stats = manager_->last_recovery_stats();
+  EXPECT_GE(stats.lock_intents, 1u);
+  EXPECT_GE(stats.locks_released, 1u);
+  EXPECT_EQ(stats.slots_scanned, 0u);  // No scan needed.
+  auto c1 = MakeCoordinator(1);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 5, Padded("onwards")).ok());
+  EXPECT_EQ(c1->stats().locks_stolen, 0u);
+  ASSERT_TRUE(c1->Commit().ok());
+}
+
+TEST_F(RecoveryTest, MemoryFailureFailsOverToBackups) {
+  auto c1 = MakeCoordinator(1);
+  // Write some data so backups matter.
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 42, Padded("before")).ok());
+  ASSERT_TRUE(c1->Commit().ok());
+
+  cluster_->CrashMemoryNode(0);
+  ASSERT_TRUE(manager_->RecoverMemoryFailure(0).ok());
+
+  // All keys remain readable and writable through the new primaries.
+  for (store::Key k = 40; k < 45; ++k) {
+    ASSERT_TRUE(c1->Begin().ok());
+    std::string value;
+    ASSERT_TRUE(c1->Read(table_, k, &value).ok()) << "key " << k;
+    ASSERT_TRUE(c1->Commit().ok());
+  }
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 42, Padded("after")).ok());
+  ASSERT_TRUE(c1->Commit().ok());
+  EXPECT_EQ(ReadCommitted(42), Padded("after"));
+}
+
+TEST_F(RecoveryTest, DistributedFdDetectsWithQuorum) {
+  manager_.reset();
+  RecoveryManagerConfig rm_config;
+  rm_config.fd.replicas = 3;
+  rm_config.fd.quorum_latency_us = 500;
+  manager_ = std::make_unique<RecoveryManager>(cluster_.get(), rm_config,
+                                               &gate_);
+  manager_->Start();
+  auto c0 = MakeCoordinator(0);
+  cluster_->CrashComputeNode(cluster_->compute_node_id(0));
+  EXPECT_TRUE(manager_->WaitForComputeRecovery(cluster_->compute_node_id(0),
+                                               2'000'000));
+}
+
+TEST_F(RecoveryTest, IdRecyclingReleasesLocksAndReusesIds) {
+  auto c0 = MakeCoordinator(0);
+  const uint16_t id = c0->coord_id();
+  CrashDuringTxn(c0.get(), txn::CrashPoint::kAfterLockFetch, {5}, "x");
+
+  // Force recycling regardless of fill level.
+  ASSERT_TRUE(manager_->RecycleIdsIfNeeded(/*threshold=*/0.0).ok());
+  EXPECT_FALSE(manager_->fd().failed_ids().Test(id));
+  EXPECT_FALSE(cluster_->compute(1)->failed_ids().Test(id));
+  // The stray lock was released by the recycling scan.
+  ExpectConsistentAndUnlocked(5);
+  // The id is reassignable.
+  std::vector<uint16_t> ids;
+  ASSERT_TRUE(manager_
+                  ->RegisterComputeNode(cluster_->compute(1), 1, &ids)
+                  .ok());
+  EXPECT_EQ(ids[0], id);
+}
+
+
+// ---------------------------------------------------------------------
+// Property sweep: for EVERY named crash point, a transaction that dies
+// there must leave memory recoverable — after recovery the object set is
+// consistent (all replicas agree, no live locks) and equals either the
+// pre-transaction or post-transaction state, matching the client ack.
+// ---------------------------------------------------------------------
+
+class CrashPointSweep
+    : public RecoveryTest,
+      public ::testing::WithParamInterface<txn::CrashPoint> {};
+
+TEST_P(CrashPointSweep, MemoryStaysRecoverable) {
+  const txn::CrashPoint point = GetParam();
+  auto c0 = MakeCoordinator(0);
+  CrashAt hook(point);
+  c0->set_crash_hook(&hook);
+
+  bool acked_commit = false;
+  bool acked_abort = false;
+  c0->set_ack_callback([&](uint64_t, bool committed) {
+    (committed ? acked_commit : acked_abort) = true;
+  });
+
+  ASSERT_TRUE(c0->Begin().ok());
+  Status status = c0->Write(table_, 5, Padded("sweep"));
+  if (status.ok()) status = c0->Write(table_, 6, Padded("sweep"));
+  if (status.ok()) status = c0->Commit();
+
+  if (!status.IsUnavailable()) {
+    // This crash point was not reached by this transaction shape (e.g.
+    // abort-path points); nothing to recover.
+    GTEST_SKIP() << "crash point " << txn::CrashPointName(point)
+                 << " not on the commit path";
+  }
+  ASSERT_TRUE(manager_->WaitForComputeRecovery(
+      cluster_->compute_node_id(0), 3'000'000));
+
+  // Survivors must observe one consistent outcome.
+  cluster_->compute(1)->failed_ids().CopyFrom(
+      manager_->fd().failed_ids());
+  const std::string v5 = ReadCommitted(5);
+  const std::string v6 = ReadCommitted(6);
+  EXPECT_EQ(v5, v6) << "atomicity violated at "
+                    << txn::CrashPointName(point);
+  EXPECT_TRUE(v5 == Padded("init") || v5 == Padded("sweep"))
+      << "unexpected state at " << txn::CrashPointName(point);
+  // Cor3: a commit-ack pins the outcome to the new state.
+  if (acked_commit) {
+    EXPECT_EQ(v5, Padded("sweep"));
+  }
+  EXPECT_FALSE(acked_abort);
+
+  // Crashes before logging leave stealable stray locks — that is the
+  // design (PILL), not a leak. A survivor writing both keys steals them;
+  // afterwards everything must be unlocked and replica-consistent.
+  auto c1 = MakeCoordinator(1);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 5, Padded("after")).ok());
+  ASSERT_TRUE(c1->Write(table_, 6, Padded("after")).ok());
+  ASSERT_TRUE(c1->Commit().ok());
+  ExpectConsistentAndUnlocked(5);
+  ExpectConsistentAndUnlocked(6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoints, CrashPointSweep,
+    ::testing::Values(
+        txn::CrashPoint::kBeforeLock, txn::CrashPoint::kAfterLock,
+        txn::CrashPoint::kAfterLockFetch, txn::CrashPoint::kBeforeLogWrite,
+        txn::CrashPoint::kAfterLogWrite, txn::CrashPoint::kAfterValidation,
+        txn::CrashPoint::kBeforeCommitApply,
+        txn::CrashPoint::kMidCommitApply,
+        txn::CrashPoint::kAfterCommitApply,
+        txn::CrashPoint::kAfterClientAck, txn::CrashPoint::kBeforeUnlock,
+        txn::CrashPoint::kMidUnlock),
+    [](const ::testing::TestParamInfo<txn::CrashPoint>& info) {
+      return txn::CrashPointName(info.param);
+    });
+
+// The same sweep for the FORD baseline's per-object logging + scan
+// recovery: the fixed baseline is slower but equally recoverable.
+class BaselineCrashPointSweep
+    : public RecoveryTest,
+      public ::testing::WithParamInterface<txn::CrashPoint> {};
+
+TEST_P(BaselineCrashPointSweep, MemoryStaysRecoverable) {
+  Rebuild(txn::ProtocolMode::kFordBaseline);
+  const txn::CrashPoint point = GetParam();
+  auto c0 = MakeCoordinator(0);
+  CrashAt hook(point);
+  c0->set_crash_hook(&hook);
+
+  ASSERT_TRUE(c0->Begin().ok());
+  Status status = c0->Write(table_, 5, Padded("sweep"));
+  if (status.ok()) status = c0->Write(table_, 6, Padded("sweep"));
+  if (status.ok()) status = c0->Commit();
+  if (!status.IsUnavailable()) GTEST_SKIP();
+  ASSERT_TRUE(manager_->WaitForComputeRecovery(
+      cluster_->compute_node_id(0), 5'000'000));
+
+  const std::string v5 = ReadCommitted(5);
+  const std::string v6 = ReadCommitted(6);
+  EXPECT_EQ(v5, v6);
+  EXPECT_TRUE(v5 == Padded("init") || v5 == Padded("sweep"));
+  ExpectConsistentAndUnlocked(5);
+  ExpectConsistentAndUnlocked(6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BaselinePoints, BaselineCrashPointSweep,
+    ::testing::Values(txn::CrashPoint::kAfterLockFetch,
+                      txn::CrashPoint::kAfterLogWrite,
+                      txn::CrashPoint::kMidCommitApply,
+                      txn::CrashPoint::kAfterClientAck,
+                      txn::CrashPoint::kMidUnlock),
+    [](const ::testing::TestParamInfo<txn::CrashPoint>& info) {
+      return txn::CrashPointName(info.param);
+    });
+
+// --------------------------------------------------------- FD unit tests
+
+TEST_F(RecoveryTest, CoordinatorIdsAreUniqueAcrossNodes) {
+  std::set<uint16_t> seen;
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t node = 0; node < 2; ++node) {
+      std::vector<uint16_t> ids;
+      ASSERT_TRUE(manager_
+                      ->RegisterComputeNode(cluster_->compute(node), 3,
+                                            &ids)
+                      .ok());
+      for (const uint16_t id : ids) {
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 60u);
+}
+
+TEST_F(RecoveryTest, IdSpaceExhaustionReported) {
+  // The fixture's log config caps max_coordinators at 512.
+  std::vector<uint16_t> ids;
+  Status status;
+  for (int i = 0; i < 200; ++i) {
+    status = manager_->RegisterComputeNode(cluster_->compute(0), 8, &ids);
+    if (!status.ok()) break;
+  }
+  EXPECT_TRUE(status.IsResourceExhausted());
+}
+
+TEST_F(RecoveryTest, LargeWriteSetFragmentsAcrossLogSlots) {
+  // The fixture's slot_bytes default fits only a few 16-byte entries per
+  // slot when the write-set is large; a 40-object transaction exercises
+  // the fragmentation path end to end: crash mid-apply, recover, verify.
+  auto c0 = MakeCoordinator(0);
+  CrashAt hook(txn::CrashPoint::kMidCommitApply, /*occurrence=*/30);
+  c0->set_crash_hook(&hook);
+  ASSERT_TRUE(c0->Begin().ok());
+  std::vector<store::Key> keys;
+  for (store::Key k = 20; k < 60; ++k) {
+    ASSERT_TRUE(c0->Write(table_, k, Padded("frag")).ok());
+    keys.push_back(k);
+  }
+  EXPECT_TRUE(c0->Commit().IsUnavailable());
+  ASSERT_TRUE(manager_->WaitForComputeRecovery(
+      cluster_->compute_node_id(0), 5'000'000));
+  const recovery::RecoveryStats stats = manager_->last_recovery_stats();
+  EXPECT_EQ(stats.rolled_back, 1u);  // Fragments merged into ONE txn.
+  for (const store::Key k : keys) {
+    EXPECT_EQ(ReadCommitted(k), Padded("init")) << "key " << k;
+    ExpectConsistentAndUnlocked(k);
+  }
+}
+
+
+// ------------------------------------------------- Re-replication (§3.2.5)
+
+TEST_F(RecoveryTest, ReplaceMemoryNodeRestoresReplicationDegree) {
+  auto c1 = MakeCoordinator(1);
+  // Update a spread of keys so the rebuilt node must carry fresh data.
+  for (store::Key k = 0; k < 50; ++k) {
+    ASSERT_TRUE(c1->Begin().ok());
+    ASSERT_TRUE(c1->Write(table_, k, Padded("pre-crash")).ok());
+    ASSERT_TRUE(c1->Commit().ok());
+  }
+
+  cluster_->CrashMemoryNode(0);
+  ASSERT_TRUE(manager_->RecoverMemoryFailure(0).ok());
+
+  // Degraded mode: keep writing; these updates exist on survivors only.
+  for (store::Key k = 0; k < 50; ++k) {
+    ASSERT_TRUE(c1->Begin().ok());
+    ASSERT_TRUE(c1->Write(table_, k, Padded("degraded")).ok());
+    ASSERT_TRUE(c1->Commit().ok());
+  }
+
+  // Re-replication: node 0 returns as a fresh replica with current data.
+  ASSERT_TRUE(manager_->ReplaceMemoryNode(0).ok());
+  EXPECT_TRUE(cluster_->membership().IsMemoryAlive(0));
+
+  // Every key is consistent across ALL replicas again, including node 0.
+  for (store::Key k = 0; k < 50; ++k) {
+    EXPECT_EQ(ReadCommitted(k), Padded("degraded")) << "key " << k;
+    ExpectConsistentAndUnlocked(k);
+  }
+
+  // Fault tolerance is actually restored: kill a *different* node; data
+  // survives through the rebuilt replica.
+  cluster_->CrashMemoryNode(1);
+  ASSERT_TRUE(manager_->RecoverMemoryFailure(1).ok());
+  for (store::Key k = 0; k < 50; ++k) {
+    EXPECT_EQ(ReadCommitted(k), Padded("degraded")) << "key " << k;
+  }
+  // And the system still accepts writes.
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Write(table_, 3, Padded("post-rebuild")).ok());
+  ASSERT_TRUE(c1->Commit().ok());
+  EXPECT_EQ(ReadCommitted(3), Padded("post-rebuild"));
+}
+
+TEST_F(RecoveryTest, RebuildRequiresDeadNode) {
+  EXPECT_TRUE(cluster_->RebuildMemoryNode(0).IsInvalidArgument());
+}
+
+TEST_F(RecoveryTest, RebuildPreservesInsertedAndDeletedObjects) {
+  auto c1 = MakeCoordinator(1);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c1->Insert(table_, 400, Padded("inserted")).ok());
+  ASSERT_TRUE(c1->Delete(table_, 10).ok());
+  ASSERT_TRUE(c1->Commit().ok());
+
+  cluster_->CrashMemoryNode(0);
+  ASSERT_TRUE(manager_->RecoverMemoryFailure(0).ok());
+  ASSERT_TRUE(manager_->ReplaceMemoryNode(0).ok());
+
+  EXPECT_EQ(ReadCommitted(400), Padded("inserted"));
+  EXPECT_FALSE(KeyVisible(10));  // Tombstone replicated too.
+  ExpectConsistentAndUnlocked(400);
+}
+
+
+// §3.2.3: the recovery coordinator itself runs on a standard compute
+// server and can die mid-recovery; re-executing the whole procedure from
+// scratch must converge to the same correct state.
+TEST_F(RecoveryTest, RecoveryCoordinatorCrashMidRecoveryIsIdempotent) {
+  manager_->Stop();  // Manual recovery only: no FD racing the test.
+
+  auto c0 = MakeCoordinator(0);
+  const uint16_t id = c0->coord_id();
+  // Two logged transactions in flight (two txns worth of logs exist:
+  // first committed leaving its record, second crashed mid-apply).
+  ASSERT_TRUE(c0->Begin().ok());
+  ASSERT_TRUE(c0->Write(table_, 30, Padded("first")).ok());
+  ASSERT_TRUE(c0->Commit().ok());
+  CrashAt hook(txn::CrashPoint::kMidCommitApply);
+  c0->set_crash_hook(&hook);
+  ASSERT_TRUE(c0->Begin().ok());
+  ASSERT_TRUE(c0->Write(table_, 31, Padded("second")).ok());
+  ASSERT_TRUE(c0->Write(table_, 32, Padded("second")).ok());
+  EXPECT_TRUE(c0->Commit().IsUnavailable());
+
+  // First RC attempt dies after its first recovery step.
+  int steps = 0;
+  manager_->rc().set_step_fault_hook([&steps] { return ++steps == 2; });
+  EXPECT_FALSE(manager_
+                   ->RecoverComputeFailure(cluster_->compute_node_id(0),
+                                           {id})
+                   .ok());
+
+  // A fresh RC re-executes everything; memory converges.
+  manager_->rc().set_step_fault_hook(nullptr);
+  ASSERT_TRUE(manager_
+                  ->RecoverComputeFailure(cluster_->compute_node_id(0),
+                                          {id})
+                  .ok());
+  EXPECT_EQ(ReadCommitted(30), Padded("first"));
+  EXPECT_EQ(ReadCommitted(31), Padded("init"));
+  EXPECT_EQ(ReadCommitted(32), Padded("init"));
+  ExpectConsistentAndUnlocked(30);
+  ExpectConsistentAndUnlocked(31);
+  ExpectConsistentAndUnlocked(32);
+}
+
+}  // namespace
+}  // namespace pandora
+}  // namespace recovery

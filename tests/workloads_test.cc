@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/clock.h"
+
+#include "cluster/cluster.h"
+#include "recovery/recovery_manager.h"
+#include "txn/system_gate.h"
+#include "workloads/driver.h"
+#include "workloads/micro.h"
+#include "workloads/smallbank.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+
+namespace pandora {
+namespace workloads {
+namespace {
+
+cluster::ClusterConfig TestClusterConfig() {
+  cluster::ClusterConfig config;
+  config.memory_nodes = 2;
+  config.compute_nodes = 2;
+  config.replication = 2;
+  config.net.one_way_ns = 0;
+  config.net.per_byte_ns = 0;
+  config.log.max_coordinators = 256;
+  config.log.slot_bytes = 8192;  // TPC-C write-sets are large.
+  return config;
+}
+
+recovery::RecoveryManagerConfig TestRmConfig() {
+  recovery::RecoveryManagerConfig config;
+  // Generous detection timing: saturating driver tests on two cores can
+  // starve heartbeat pumps for tens of milliseconds.
+  config.fd.timeout_us = 150'000;
+  config.fd.heartbeat_period_us = 10'000;
+  config.fd.poll_period_us = 10'000;
+  return config;
+}
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  void Start(Workload* workload) {
+    cluster_ = std::make_unique<cluster::Cluster>(TestClusterConfig());
+    ASSERT_TRUE(workload->Setup(cluster_.get()).ok());
+    manager_ = std::make_unique<recovery::RecoveryManager>(
+        cluster_.get(), TestRmConfig(), &gate_);
+    manager_->Start();
+  }
+
+  std::unique_ptr<txn::Coordinator> MakeCoordinator(
+      uint32_t compute_index, txn::TxnConfig config = txn::TxnConfig()) {
+    std::vector<uint16_t> ids;
+    EXPECT_TRUE(manager_
+                    ->RegisterComputeNode(cluster_->compute(compute_index),
+                                          1, &ids)
+                    .ok());
+    return std::make_unique<txn::Coordinator>(
+        cluster_.get(), cluster_->compute(compute_index), ids[0], config,
+        &gate_);
+  }
+
+  txn::SystemGate gate_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<recovery::RecoveryManager> manager_;
+};
+
+TEST_F(WorkloadsTest, MicroRunsTransactions) {
+  MicroConfig config;
+  config.num_keys = 1000;
+  config.write_percent = 50;
+  MicroWorkload micro(config);
+  Start(&micro);
+  auto coord = MakeCoordinator(0);
+  Random rng(1);
+  int committed = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (micro.RunTransaction(coord.get(), &rng).ok()) ++committed;
+  }
+  EXPECT_GT(committed, 150);
+}
+
+TEST_F(WorkloadsTest, MicroHotKeysRestrictAccess) {
+  MicroConfig config;
+  config.num_keys = 1000;
+  config.hot_keys = 4;
+  config.write_percent = 100;
+  config.ops_per_txn = 2;
+  MicroWorkload micro(config);
+  Start(&micro);
+  auto c1 = MakeCoordinator(0);
+  auto c2 = MakeCoordinator(1);
+  // Two free-running coordinators hammering 4 hot keys must conflict.
+  std::thread t1([&] {
+    Random rng(1);
+    for (int i = 0; i < 2000; ++i) micro.RunTransaction(c1.get(), &rng);
+  });
+  std::thread t2([&] {
+    Random rng(2);
+    for (int i = 0; i < 2000; ++i) micro.RunTransaction(c2.get(), &rng);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GT(c1->stats().lock_conflicts + c2->stats().lock_conflicts, 0u);
+}
+
+TEST_F(WorkloadsTest, SmallBankConservesMoneySerially) {
+  SmallBankConfig config;
+  config.num_accounts = 200;
+  SmallBankWorkload bank(config);
+  Start(&bank);
+  auto coord = MakeCoordinator(0);
+  Random rng(7);
+  int committed = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (bank.RunTransaction(coord.get(), &rng).ok()) ++committed;
+  }
+  EXPECT_GT(committed, 250);
+  int64_t total = 0;
+  ASSERT_TRUE(bank.TotalBalance(coord.get(), &total).ok());
+  EXPECT_EQ(total, bank.ExpectedTotal() + bank.committed_delta());
+}
+
+TEST_F(WorkloadsTest, SmallBankConservesMoneyUnderConcurrency) {
+  SmallBankConfig config;
+  config.num_accounts = 100;
+  config.hot_accounts = 20;
+  config.conserving_only = true;
+  SmallBankWorkload bank(config);
+  Start(&bank);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto coord = MakeCoordinator(t % 2);
+      Random rng(100 + t);
+      for (int i = 0; i < 150; ++i) {
+        bank.RunTransaction(coord.get(), &rng);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  auto auditor = MakeCoordinator(0);
+  int64_t total = 0;
+  ASSERT_TRUE(bank.TotalBalance(auditor.get(), &total).ok());
+  EXPECT_EQ(total, bank.ExpectedTotal());
+}
+
+TEST_F(WorkloadsTest, SmallBankConservesMoneyAcrossCrashAndRecovery) {
+  SmallBankConfig config;
+  config.num_accounts = 100;
+  config.hot_accounts = 10;
+  config.conserving_only = true;
+  SmallBankWorkload bank(config);
+  Start(&bank);
+
+  // Coordinator on node 0 runs transactions, then its node crashes
+  // mid-flight; survivors continue; recovery must keep the invariant.
+  std::thread victim_thread([&] {
+    auto victim = MakeCoordinator(0);
+    Random rng(5);
+    for (int i = 0; i < 10000; ++i) {
+      if (!bank.RunTransaction(victim.get(), &rng).ok() &&
+          victim->stats().crashed > 0) {
+        break;
+      }
+    }
+  });
+  std::thread survivor_thread([&] {
+    auto survivor = MakeCoordinator(1);
+    Random rng(6);
+    for (int i = 0; i < 400; ++i) bank.RunTransaction(survivor.get(), &rng);
+  });
+  SleepForMicros(20'000);
+  const uint64_t before =
+      manager_->recovery_count(cluster_->compute_node_id(0));
+  cluster_->CrashComputeNode(cluster_->compute_node_id(0));
+  victim_thread.join();
+  survivor_thread.join();
+  ASSERT_TRUE(manager_->WaitForComputeRecovery(
+      cluster_->compute_node_id(0), 3'000'000, before));
+
+  auto auditor = MakeCoordinator(1);
+  int64_t total = 0;
+  ASSERT_TRUE(bank.TotalBalance(auditor.get(), &total).ok());
+  EXPECT_EQ(total, bank.ExpectedTotal());
+}
+
+TEST_F(WorkloadsTest, TatpRunsAllProfiles) {
+  TatpConfig config;
+  config.subscribers = 500;
+  TatpWorkload tatp(config);
+  Start(&tatp);
+  auto coord = MakeCoordinator(0);
+  Random rng(11);
+  int committed = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (tatp.RunTransaction(coord.get(), &rng).ok()) ++committed;
+  }
+  // TATP is mostly read-only; nearly everything commits.
+  EXPECT_GT(committed, 350);
+}
+
+TEST_F(WorkloadsTest, TpccRunsAllProfiles) {
+  TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 4;
+  config.customers_per_district = 50;
+  config.items = 100;
+  config.max_orders_per_district = 512;
+  TpccWorkload tpcc(config);
+  Start(&tpcc);
+  auto coord = MakeCoordinator(0);
+  Random rng(13);
+  int committed = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (tpcc.RunTransaction(coord.get(), &rng).ok()) ++committed;
+  }
+  EXPECT_GT(committed, 250);
+
+  // Explicit per-profile smoke checks.
+  EXPECT_TRUE(tpcc.NewOrder(coord.get(), &rng).ok());
+  EXPECT_TRUE(tpcc.Payment(coord.get(), &rng).ok());
+  EXPECT_TRUE(tpcc.OrderStatus(coord.get(), &rng).ok());
+  EXPECT_TRUE(tpcc.Delivery(coord.get(), &rng).ok());
+  EXPECT_TRUE(tpcc.StockLevel(coord.get(), &rng).ok());
+}
+
+TEST_F(WorkloadsTest, DriverProducesTimeline) {
+  MicroConfig config;
+  config.num_keys = 1000;
+  MicroWorkload micro(config);
+  Start(&micro);
+
+  DriverConfig driver_config;
+  driver_config.threads = 2;
+  driver_config.coordinators = 4;
+  driver_config.duration_ms = 300;
+  driver_config.bucket_ms = 50;
+  Driver driver(cluster_.get(), manager_.get(), &gate_, &micro,
+                driver_config);
+  const DriverResult result = driver.Run();
+  EXPECT_GT(result.committed, 100u);
+  EXPECT_GT(result.mtps, 0.0);
+  EXPECT_EQ(result.timeline_mtps.size(), 6u);
+  EXPECT_EQ(result.totals.committed, result.committed);
+}
+
+TEST_F(WorkloadsTest, DriverSurvivesComputeCrashAndRestart) {
+  MicroConfig config;
+  config.num_keys = 500;
+  MicroWorkload micro(config);
+  Start(&micro);
+
+  DriverConfig driver_config;
+  driver_config.threads = 2;
+  driver_config.coordinators = 4;
+  driver_config.duration_ms = 500;
+  driver_config.bucket_ms = 50;
+  Driver driver(cluster_.get(), manager_.get(), &gate_, &micro,
+                driver_config);
+  driver.AddFault({FaultEvent::Kind::kComputeCrash, 150, 0});
+  driver.AddFault({FaultEvent::Kind::kComputeRestart, 300, 0});
+  const DriverResult result = driver.Run();
+  EXPECT_GT(result.committed, 50u);
+  // Work continued after the crash: late buckets are non-empty.
+  double tail = 0;
+  for (size_t b = 6; b < result.timeline_mtps.size(); ++b) {
+    tail += result.timeline_mtps[b];
+  }
+  EXPECT_GT(tail, 0.0);
+}
+
+TEST_F(WorkloadsTest, DriverSurvivesMemoryCrash) {
+  MicroConfig config;
+  config.num_keys = 500;
+  MicroWorkload micro(config);
+  Start(&micro);
+
+  DriverConfig driver_config;
+  driver_config.threads = 2;
+  driver_config.coordinators = 4;
+  driver_config.duration_ms = 800;
+  driver_config.bucket_ms = 50;
+  Driver driver(cluster_.get(), manager_.get(), &gate_, &micro,
+                driver_config);
+  driver.AddFault({FaultEvent::Kind::kMemoryCrash, 200, 0});
+  const DriverResult result = driver.Run();
+  EXPECT_GT(result.committed, 50u);
+  // Work resumed after the fail-over: the tail of the timeline is live.
+  double tail = 0;
+  for (size_t b = 8; b < result.timeline_mtps.size(); ++b) {
+    tail += result.timeline_mtps[b];
+  }
+  EXPECT_GT(tail, 0.0);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace pandora
