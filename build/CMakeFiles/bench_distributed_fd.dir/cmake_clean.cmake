@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_fd.dir/bench/bench_distributed_fd.cc.o"
+  "CMakeFiles/bench_distributed_fd.dir/bench/bench_distributed_fd.cc.o.d"
+  "bench/bench_distributed_fd"
+  "bench/bench_distributed_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failover_micro.dir/bench/bench_failover_micro.cc.o"
+  "CMakeFiles/bench_failover_micro.dir/bench/bench_failover_micro.cc.o.d"
+  "bench/bench_failover_micro"
+  "bench/bench_failover_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failover_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failover_smallbank.dir/bench/bench_failover_smallbank.cc.o"
+  "CMakeFiles/bench_failover_smallbank.dir/bench/bench_failover_smallbank.cc.o.d"
+  "bench/bench_failover_smallbank"
+  "bench/bench_failover_smallbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failover_smallbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failover_tatp.dir/bench/bench_failover_tatp.cc.o"
+  "CMakeFiles/bench_failover_tatp.dir/bench/bench_failover_tatp.cc.o.d"
+  "bench/bench_failover_tatp"
+  "bench/bench_failover_tatp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failover_tatp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

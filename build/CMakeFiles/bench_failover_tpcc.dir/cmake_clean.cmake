@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failover_tpcc.dir/bench/bench_failover_tpcc.cc.o"
+  "CMakeFiles/bench_failover_tpcc.dir/bench/bench_failover_tpcc.cc.o.d"
+  "bench/bench_failover_tpcc"
+  "bench/bench_failover_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failover_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_litmus_validation.cc" "CMakeFiles/bench_litmus_validation.dir/bench/bench_litmus_validation.cc.o" "gcc" "CMakeFiles/bench_litmus_validation.dir/bench/bench_litmus_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pandora_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

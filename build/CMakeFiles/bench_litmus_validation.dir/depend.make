@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_litmus_validation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pill_mttf.dir/bench/bench_pill_mttf.cc.o"
+  "CMakeFiles/bench_pill_mttf.dir/bench/bench_pill_mttf.cc.o.d"
+  "bench/bench_pill_mttf"
+  "bench/bench_pill_mttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pill_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stall_sensitivity.dir/bench/bench_stall_sensitivity.cc.o"
+  "CMakeFiles/bench_stall_sensitivity.dir/bench/bench_stall_sensitivity.cc.o.d"
+  "bench/bench_stall_sensitivity"
+  "bench/bench_stall_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stall_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

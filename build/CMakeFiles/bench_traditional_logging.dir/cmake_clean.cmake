@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traditional_logging.dir/bench/bench_traditional_logging.cc.o"
+  "CMakeFiles/bench_traditional_logging.dir/bench/bench_traditional_logging.cc.o.d"
+  "bench/bench_traditional_logging"
+  "bench/bench_traditional_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traditional_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

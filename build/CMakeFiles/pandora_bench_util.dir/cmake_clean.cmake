@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_bench_util.dir/bench/bench_util.cc.o"
+  "CMakeFiles/pandora_bench_util.dir/bench/bench_util.cc.o.d"
+  "libpandora_bench_util.a"
+  "libpandora_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_demo.dir/litmus_demo.cc.o"
+  "CMakeFiles/litmus_demo.dir/litmus_demo.cc.o.d"
+  "litmus_demo"
+  "litmus_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

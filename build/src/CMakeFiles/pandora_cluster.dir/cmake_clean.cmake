@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/pandora_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/pandora_cluster.dir/cluster/placement.cc.o"
+  "CMakeFiles/pandora_cluster.dir/cluster/placement.cc.o.d"
+  "libpandora_cluster.a"
+  "libpandora_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpandora_cluster.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_common.dir/common/atomic_copy.cc.o"
+  "CMakeFiles/pandora_common.dir/common/atomic_copy.cc.o.d"
+  "CMakeFiles/pandora_common.dir/common/checksum.cc.o"
+  "CMakeFiles/pandora_common.dir/common/checksum.cc.o.d"
+  "CMakeFiles/pandora_common.dir/common/clock.cc.o"
+  "CMakeFiles/pandora_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/pandora_common.dir/common/histogram.cc.o"
+  "CMakeFiles/pandora_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/pandora_common.dir/common/logging.cc.o"
+  "CMakeFiles/pandora_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/pandora_common.dir/common/random.cc.o"
+  "CMakeFiles/pandora_common.dir/common/random.cc.o.d"
+  "CMakeFiles/pandora_common.dir/common/status.cc.o"
+  "CMakeFiles/pandora_common.dir/common/status.cc.o.d"
+  "libpandora_common.a"
+  "libpandora_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

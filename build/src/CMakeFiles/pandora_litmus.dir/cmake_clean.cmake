@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_litmus.dir/litmus/checker.cc.o"
+  "CMakeFiles/pandora_litmus.dir/litmus/checker.cc.o.d"
+  "CMakeFiles/pandora_litmus.dir/litmus/harness.cc.o"
+  "CMakeFiles/pandora_litmus.dir/litmus/harness.cc.o.d"
+  "CMakeFiles/pandora_litmus.dir/litmus/litmus_spec.cc.o"
+  "CMakeFiles/pandora_litmus.dir/litmus/litmus_spec.cc.o.d"
+  "libpandora_litmus.a"
+  "libpandora_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/fabric.cc" "src/CMakeFiles/pandora_rdma.dir/rdma/fabric.cc.o" "gcc" "src/CMakeFiles/pandora_rdma.dir/rdma/fabric.cc.o.d"
+  "/root/repo/src/rdma/memory_region.cc" "src/CMakeFiles/pandora_rdma.dir/rdma/memory_region.cc.o" "gcc" "src/CMakeFiles/pandora_rdma.dir/rdma/memory_region.cc.o.d"
+  "/root/repo/src/rdma/protection_domain.cc" "src/CMakeFiles/pandora_rdma.dir/rdma/protection_domain.cc.o" "gcc" "src/CMakeFiles/pandora_rdma.dir/rdma/protection_domain.cc.o.d"
+  "/root/repo/src/rdma/queue_pair.cc" "src/CMakeFiles/pandora_rdma.dir/rdma/queue_pair.cc.o" "gcc" "src/CMakeFiles/pandora_rdma.dir/rdma/queue_pair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_rdma.dir/rdma/fabric.cc.o"
+  "CMakeFiles/pandora_rdma.dir/rdma/fabric.cc.o.d"
+  "CMakeFiles/pandora_rdma.dir/rdma/memory_region.cc.o"
+  "CMakeFiles/pandora_rdma.dir/rdma/memory_region.cc.o.d"
+  "CMakeFiles/pandora_rdma.dir/rdma/protection_domain.cc.o"
+  "CMakeFiles/pandora_rdma.dir/rdma/protection_domain.cc.o.d"
+  "CMakeFiles/pandora_rdma.dir/rdma/queue_pair.cc.o"
+  "CMakeFiles/pandora_rdma.dir/rdma/queue_pair.cc.o.d"
+  "libpandora_rdma.a"
+  "libpandora_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

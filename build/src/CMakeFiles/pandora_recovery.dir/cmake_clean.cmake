@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_recovery.dir/recovery/failure_detector.cc.o"
+  "CMakeFiles/pandora_recovery.dir/recovery/failure_detector.cc.o.d"
+  "CMakeFiles/pandora_recovery.dir/recovery/recovery_coordinator.cc.o"
+  "CMakeFiles/pandora_recovery.dir/recovery/recovery_coordinator.cc.o.d"
+  "CMakeFiles/pandora_recovery.dir/recovery/recovery_manager.cc.o"
+  "CMakeFiles/pandora_recovery.dir/recovery/recovery_manager.cc.o.d"
+  "libpandora_recovery.a"
+  "libpandora_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/log_layout.cc" "src/CMakeFiles/pandora_store.dir/store/log_layout.cc.o" "gcc" "src/CMakeFiles/pandora_store.dir/store/log_layout.cc.o.d"
+  "/root/repo/src/store/remote_object.cc" "src/CMakeFiles/pandora_store.dir/store/remote_object.cc.o" "gcc" "src/CMakeFiles/pandora_store.dir/store/remote_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandora_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_store.dir/store/log_layout.cc.o"
+  "CMakeFiles/pandora_store.dir/store/log_layout.cc.o.d"
+  "CMakeFiles/pandora_store.dir/store/remote_object.cc.o"
+  "CMakeFiles/pandora_store.dir/store/remote_object.cc.o.d"
+  "libpandora_store.a"
+  "libpandora_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

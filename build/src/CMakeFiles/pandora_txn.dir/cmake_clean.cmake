@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_txn.dir/txn/coordinator.cc.o"
+  "CMakeFiles/pandora_txn.dir/txn/coordinator.cc.o.d"
+  "CMakeFiles/pandora_txn.dir/txn/crash_hook.cc.o"
+  "CMakeFiles/pandora_txn.dir/txn/crash_hook.cc.o.d"
+  "CMakeFiles/pandora_txn.dir/txn/log_writer.cc.o"
+  "CMakeFiles/pandora_txn.dir/txn/log_writer.cc.o.d"
+  "libpandora_txn.a"
+  "libpandora_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/pandora_txn.dir/txn/crash_hook.cc.o: \
+ /root/repo/src/txn/crash_hook.cc /usr/include/stdc-predef.h \
+ /root/repo/src/txn/crash_hook.h

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_workloads.dir/workloads/driver.cc.o"
+  "CMakeFiles/pandora_workloads.dir/workloads/driver.cc.o.d"
+  "CMakeFiles/pandora_workloads.dir/workloads/micro.cc.o"
+  "CMakeFiles/pandora_workloads.dir/workloads/micro.cc.o.d"
+  "CMakeFiles/pandora_workloads.dir/workloads/smallbank.cc.o"
+  "CMakeFiles/pandora_workloads.dir/workloads/smallbank.cc.o.d"
+  "CMakeFiles/pandora_workloads.dir/workloads/tatp.cc.o"
+  "CMakeFiles/pandora_workloads.dir/workloads/tatp.cc.o.d"
+  "CMakeFiles/pandora_workloads.dir/workloads/tpcc.cc.o"
+  "CMakeFiles/pandora_workloads.dir/workloads/tpcc.cc.o.d"
+  "libpandora_workloads.a"
+  "libpandora_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/litmus_test.cc" "tests/CMakeFiles/litmus_test.dir/litmus_test.cc.o" "gcc" "tests/CMakeFiles/litmus_test.dir/litmus_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandora_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
