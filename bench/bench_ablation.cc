@@ -75,6 +75,24 @@ int main() {
              "x");
   }
 
+  // --- 1b. Execution-phase pipelining (§3.1.1): the single-RTT
+  // lock-then-read chain and batched range reads, independently of the
+  // commit-phase batching above. bench_execution_pipeline has the full
+  // latency story; this row tracks the throughput effect.
+  {
+    txn::TxnConfig txn_cfg;
+    const workloads::DriverResult pipelined =
+        RunMicro(PaperTestbed(), txn_cfg);
+    txn_cfg.pipeline_execution = false;
+    const workloads::DriverResult unpipelined =
+        RunMicro(PaperTestbed(), txn_cfg);
+    PrintRow("execution pipelining ON", pipelined.mtps, "MTps");
+    PrintRow("execution pipelining OFF (2-RTT lock+fetch)",
+             unpipelined.mtps, "MTps");
+    PrintRttRows("pipelining ON", pipelined);
+    PrintRttRows("pipelining OFF", unpipelined);
+  }
+
   // --- 2. Persistence modes.
   {
     txn::TxnConfig txn_cfg;

@@ -89,5 +89,85 @@ void PrintRow(const std::string& label, double value,
   std::printf("%-44s %12.4f %s\n", label.c_str(), value, unit.c_str());
 }
 
+void BenchJson::Set(const std::string& key, double value) {
+  for (auto& metric : metrics_) {
+    if (metric.first == key) {
+      metric.second = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(key, value);
+}
+
+std::string BenchJson::Write() const {
+  std::string path;
+  const char* dir = std::getenv("PANDORA_BENCH_JSON_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/";
+  }
+  path += "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    PANDORA_LOG(kWarning) << "bench: cannot write " << path;
+    return "";
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+  for (const auto& metric : metrics_) {
+    std::fprintf(f, ",\n  \"%s\": %.10g", metric.first.c_str(),
+                 metric.second);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("json: %s\n", path.c_str());
+  return path;
+}
+
+void AddDriverMetrics(BenchJson* json, const std::string& prefix,
+                      const workloads::DriverResult& result) {
+  const std::string p = prefix.empty() ? "" : prefix + ".";
+  const double committed =
+      result.totals.committed > 0
+          ? static_cast<double>(result.totals.committed)
+          : 1.0;
+  json->Set(p + "committed", static_cast<double>(result.committed));
+  json->Set(p + "aborted", static_cast<double>(result.aborted));
+  json->Set(p + "mtps", result.mtps);
+  json->Set(p + "p50_us",
+            static_cast<double>(result.commit_latency.PercentileNanos(50)) /
+                1000.0);
+  json->Set(p + "p99_us",
+            static_cast<double>(result.commit_latency.PercentileNanos(99)) /
+                1000.0);
+  json->Set(p + "mean_us", result.commit_latency.MeanNanos() / 1000.0);
+  json->Set(p + "execution_rtts",
+            static_cast<double>(result.totals.execution_rtts));
+  json->Set(p + "commit_rtts",
+            static_cast<double>(result.totals.commit_rtts));
+  json->Set(p + "doorbells", static_cast<double>(result.totals.doorbells));
+  json->Set(p + "execution_rtts_per_committed",
+            static_cast<double>(result.totals.execution_rtts) / committed);
+  json->Set(p + "commit_rtts_per_committed",
+            static_cast<double>(result.totals.commit_rtts) / committed);
+  json->Set(p + "doorbells_per_committed",
+            static_cast<double>(result.totals.doorbells) / committed);
+}
+
+void PrintRttRows(const std::string& label,
+                  const workloads::DriverResult& result) {
+  const double committed =
+      result.totals.committed > 0
+          ? static_cast<double>(result.totals.committed)
+          : 1.0;
+  PrintRow(label + " execution RTTs/txn",
+           static_cast<double>(result.totals.execution_rtts) / committed,
+           "RTTs");
+  PrintRow(label + " commit RTTs/txn",
+           static_cast<double>(result.totals.commit_rtts) / committed,
+           "RTTs");
+  PrintRow(label + " doorbells/txn",
+           static_cast<double>(result.totals.doorbells) / committed,
+           "doorbells");
+}
+
 }  // namespace bench
 }  // namespace pandora

@@ -73,6 +73,36 @@ void PrintTimeline(const std::string& label,
 void PrintRow(const std::string& label, double value,
               const std::string& unit);
 
+/// Machine-readable results: an ordered flat map of metric name -> number,
+/// written as BENCH_<name>.json into PANDORA_BENCH_JSON_DIR (or the
+/// working directory when unset). Keys use dotted prefixes to group runs,
+/// e.g. "pipelined.p50_us".
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value);
+
+  /// Writes the file and returns its path ("" on I/O failure, which is
+  /// logged but never fatal — benches must still print their rows).
+  std::string Write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Adds the standard result metrics under `prefix.`: throughput
+/// (committed/aborted/mtps), commit latency (p50/p99/mean, µs), and the
+/// round-trip counters (execution_rtts, commit_rtts, doorbells — total
+/// and per committed transaction).
+void AddDriverMetrics(BenchJson* json, const std::string& prefix,
+                      const workloads::DriverResult& result);
+
+/// Prints the round-trip counter rows every bench reports the same way.
+void PrintRttRows(const std::string& label,
+                  const workloads::DriverResult& result);
+
 }  // namespace bench
 }  // namespace pandora
 

@@ -108,6 +108,10 @@ void VerbBatch::CompareSwap(QueuePair* qp, RKey rkey, uint64_t offset,
 
 Status VerbBatch::Execute() {
   if (max_rtt_ns_ > 0) SpinForNanos(max_rtt_ns_);
+  return Collect();
+}
+
+Status VerbBatch::Collect() {
   Status result = first_error_;
   first_error_ = Status::OK();
   max_rtt_ns_ = 0;

@@ -93,6 +93,16 @@ class VerbBatch {
   /// Waits out the slowest round trip; returns the first verb error, if any.
   Status Execute();
 
+  /// Slowest round trip posted so far. An OrderedBatch chain that fires in
+  /// the same doorbell group passes this to its Execute() so one wait
+  /// covers both; the caller then drains this batch with Collect().
+  uint64_t pending_max_rtt_ns() const { return max_rtt_ns_; }
+
+  /// Returns the first verb error and resets, without waiting — for a
+  /// batch whose round trip was covered by another wait in the same
+  /// doorbell group.
+  Status Collect();
+
   size_t size() const { return count_; }
 
  private:

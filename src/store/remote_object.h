@@ -2,6 +2,7 @@
 #define PANDORA_STORE_REMOTE_OBJECT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "rdma/queue_pair.h"
@@ -26,18 +27,70 @@ struct SlotState {
 /// Probes for `key` with one-sided 24-byte reads ({lock, version, key} per
 /// slot). On success fills `state`. Returns NotFound if the probe hits a
 /// free slot (key absent) and ResourceExhausted if the whole region was
-/// scanned.
+/// scanned. `rtts` (optional) accumulates the round trips spent probing.
 Status FindSlotByProbe(rdma::QueuePair* qp, rdma::RKey rkey,
-                       const TableLayout& layout, Key key, SlotState* state);
+                       const TableLayout& layout, Key key, SlotState* state,
+                       uint64_t* rtts = nullptr);
 
 /// Finds the slot for `key`, or claims a free slot for an insert by CASing
 /// the key word from kFreeKey to `key`. On success `*state` names the
 /// object's slot (existing or newly claimed) and `*existed` says which.
 /// Claiming is idempotent under races: if another coordinator claims the
-/// probed slot first, probing continues.
+/// probed slot first, probing continues. `rtts` (optional) accumulates the
+/// round trips spent.
 Status FindOrClaimSlot(rdma::QueuePair* qp, rdma::RKey rkey,
                        const TableLayout& layout, Key key, SlotState* state,
-                       bool* existed);
+                       bool* existed, uint64_t* rtts = nullptr);
+
+/// --- Combined slot reads (lock + version + key + value in one verb) ----
+
+/// Bytes a combined slot read covers: the full slot from the lock word.
+inline size_t SlotReadSize(const TableLayout& layout) {
+  return 24 + layout.padded_value_size();
+}
+
+/// Posts a combined read of `slot`'s {lock, version, key, value} into
+/// `batch`. `buf` must hold SlotReadSize(layout) bytes and stay alive
+/// until the batch executes.
+void PostSlotRead(rdma::VerbBatch* batch, rdma::QueuePair* qp,
+                  rdma::RKey rkey, const TableLayout& layout, uint64_t slot,
+                  char* buf);
+
+/// Decoded view over a combined slot read. `value` aliases `buf`.
+struct SlotReadView {
+  LockWord lock = 0;
+  VersionWord version = 0;
+  Key key = 0;
+  const char* value = nullptr;
+};
+SlotReadView DecodeSlotRead(const char* buf);
+
+/// --- Batched slot resolution -------------------------------------------
+
+/// One key's slot-resolution request in a batched probe: the key may live
+/// on any server (per-request QP/rkey), so a range scan batches across its
+/// keys and a replica-set resolution batches the same key across replicas.
+struct ProbeRequest {
+  rdma::QueuePair* qp = nullptr;
+  rdma::RKey rkey = rdma::kInvalidRKey;
+  Key key = 0;
+};
+
+struct ProbeOutcome {
+  Status status;    // OK, NotFound (key absent), or a verb error.
+  SlotState state;  // Valid when status.ok().
+};
+
+/// Resolves many keys' slots by linear probing, batching each probe step
+/// across all still-unresolved requests into one doorbell — max-RTT rounds
+/// instead of per-key sequential probe chains. Per-key results land in
+/// `outcomes` (resized to match `requests`); the return value is the first
+/// verb-level error, which also fails every still-unresolved request.
+/// `rounds` (optional) accumulates the number of round trips spent.
+Status FindSlotsByBatchedProbe(const TableLayout& layout,
+                               const std::vector<ProbeRequest>& requests,
+                               std::vector<ProbeOutcome>* outcomes,
+                               uint64_t* rounds = nullptr);
 
 }  // namespace store
 }  // namespace pandora

@@ -91,6 +91,7 @@ Status Coordinator::Begin() {
   in_txn_ = true;
   txn_id_ = (static_cast<uint64_t>(coord_id_) << 32) | next_txn_seq_++;
   write_set_.clear();
+  write_index_.clear();
   read_set_.clear();
   coord_log_slots_.clear();
   log_writer_.ResetForNewTxn();
@@ -100,6 +101,7 @@ Status Coordinator::Begin() {
 void Coordinator::FinishTxn() {
   in_txn_ = false;
   write_set_.clear();
+  write_index_.clear();
   read_set_.clear();
   coord_log_slots_.clear();
   if (gate_ != nullptr) gate_->ExitTxn();
@@ -107,15 +109,27 @@ void Coordinator::FinishTxn() {
 
 Coordinator::WriteOp* Coordinator::FindWriteOp(store::TableId table,
                                                store::Key key) {
-  for (WriteOp& op : write_set_) {
-    if (op.table == table && op.key == key) return &op;
-  }
-  return nullptr;
+  const auto it = write_index_.find(TableKey{table, key});
+  return it == write_index_.end() ? nullptr : &write_set_[it->second];
+}
+
+Coordinator::WriteOp* Coordinator::AppendWriteOp(WriteOp op) {
+  write_index_[TableKey{op.table, op.key}] = write_set_.size();
+  write_set_.push_back(std::move(op));
+  return &write_set_.back();
+}
+
+Coordinator::WriteOp Coordinator::PopLastWriteOp() {
+  WriteOp op = std::move(write_set_.back());
+  write_set_.pop_back();
+  write_index_.erase(TableKey{op.table, op.key});
+  return op;
 }
 
 Status Coordinator::ResolveSlot(store::TableId table, store::Key key,
                                 rdma::NodeId node, bool claim_for_insert,
-                                uint64_t* slot, bool* existed) {
+                                uint64_t* slot, bool* existed,
+                                uint64_t* rtt_counter) {
   if (const auto cached = cluster_->addresses().Lookup(table, node, key)) {
     *slot = *cached;
     *existed = true;
@@ -124,21 +138,23 @@ Status Coordinator::ResolveSlot(store::TableId table, store::Key key,
   const cluster::TableInfo& info = cluster_->catalog().table(table);
   rdma::QueuePair* qp = server_->qp(node);
   store::SlotState state;
+  uint64_t probe_rtts = 0;
+  Status status;
   if (claim_for_insert) {
     bool was_there = false;
-    PANDORA_RETURN_NOT_OK(store::FindOrClaimSlot(
-        qp, info.region_rkeys[node], info.layout, key, &state, &was_there));
+    status = store::FindOrClaimSlot(qp, info.region_rkeys[node],
+                                    info.layout, key, &state, &was_there,
+                                    &probe_rtts);
     *existed = was_there;
   } else {
-    const Status status = store::FindSlotByProbe(
-        qp, info.region_rkeys[node], info.layout, key, &state);
-    if (status.IsNotFound()) {
-      *existed = false;
-      return Status::OK();
-    }
-    PANDORA_RETURN_NOT_OK(status);
-    *existed = true;
+    status = store::FindSlotByProbe(qp, info.region_rkeys[node],
+                                    info.layout, key, &state, &probe_rtts);
+    if (status.IsNotFound()) *existed = false;
+    if (status.ok()) *existed = true;
   }
+  CountRtts(rtt_counter, probe_rtts);
+  if (status.IsNotFound() && !claim_for_insert) return Status::OK();
+  PANDORA_RETURN_NOT_OK(status);
   *slot = state.slot;
   cluster_->addresses().InsertOverlay(table, node, key, state.slot);
   return Status::OK();
@@ -155,7 +171,8 @@ Status Coordinator::ResolvePlacement(WriteOp* op) {
     bool existed = false;
     uint64_t slot = 0;
     PANDORA_RETURN_NOT_OK(ResolveSlot(op->table, op->key, node,
-                                      op->is_insert, &slot, &existed));
+                                      op->is_insert, &slot, &existed,
+                                      &stats_.execution_rtts));
     if (!existed && !op->is_insert) {
       return Status::NotFound("key absent");
     }
@@ -176,30 +193,78 @@ Status Coordinator::FetchUndoImage(WriteOp* op) {
   const cluster::TableInfo& info = cluster_->catalog().table(op->table);
   const store::TableLayout& layout = info.layout;
   const size_t len = 16 + layout.padded_value_size();
-  std::vector<char> buf(len);
+  fetch_buf_.resize(len);
+  CountRtts(&stats_.execution_rtts, 1);
   PANDORA_RETURN_NOT_OK(server_->qp(op->lock_node)
                             ->Read(info.region_rkeys[op->lock_node],
                                    layout.VersionOffset(op->lock_slot),
-                                   buf.data(), len));
-  op->old_version = DecodeFixed64(buf.data());
-  op->old_value.assign(buf.begin() + 16, buf.end());
+                                   fetch_buf_.data(), len));
+  op->old_version = DecodeFixed64(fetch_buf_.data());
+  op->old_value.assign(fetch_buf_.begin() + 16, fetch_buf_.begin() + len);
   return Status::OK();
 }
 
-Status Coordinator::LockAndFetch(WriteOp* op) {
-  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeLock));
+Status Coordinator::PostLockAndFetchChain(WriteOp* op, uint64_t expected,
+                                          uint64_t* observed,
+                                          rdma::VerbBatch* rider,
+                                          bool* fetched) {
   const cluster::TableInfo& info = cluster_->catalog().table(op->table);
+  const store::TableLayout& layout = info.layout;
+  const store::LockWord mine = store::MakeLock(coord_id_);
+  const size_t len = 16 + layout.padded_value_size();
+  fetch_buf_.resize(len);
+  *fetched = false;
+
+  rdma::OrderedBatch chain(server_->qp(op->lock_node));
+  chain.CompareSwap(info.region_rkeys[op->lock_node],
+                    layout.LockOffset(op->lock_slot), expected, mine,
+                    observed);
+  chain.Read(info.region_rkeys[op->lock_node],
+             layout.VersionOffset(op->lock_slot), fetch_buf_.data(), len);
+  CountRtts(&stats_.execution_rtts, 1);
+  const Status status =
+      chain.Execute(rider != nullptr ? rider->pending_max_rtt_ns() : 0);
+  if (rider != nullptr) {
+    // The rider's round trip was covered by the chain's wait; surface its
+    // first error after the chain's own.
+    const Status rider_status = rider->Collect();
+    PANDORA_RETURN_NOT_OK(status);
+    PANDORA_RETURN_NOT_OK(rider_status);
+  }
+  PANDORA_RETURN_NOT_OK(status);
+  if (*observed != expected) return Status::OK();  // CAS lost: discard read.
+  op->old_version = DecodeFixed64(fetch_buf_.data());
+  op->old_value.assign(fetch_buf_.begin() + 16, fetch_buf_.begin() + len);
+  *fetched = true;
+  return Status::OK();
+}
+
+Status Coordinator::LockAndFetch(WriteOp* op, rdma::VerbBatch* rider) {
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeLock));
   const store::LockWord mine = store::MakeLock(coord_id_);
   const uint64_t deadline =
       NowMicros() + config_.stall_timeout_us;
 
   while (true) {
+    const cluster::TableInfo& info = cluster_->catalog().table(op->table);
     uint64_t observed = 0;
-    const Status status =
-        server_->qp(op->lock_node)
-            ->CompareSwap(info.region_rkeys[op->lock_node],
-                          info.layout.LockOffset(op->lock_slot),
-                          store::kUnlocked, mine, &observed);
+    bool fetched = false;
+    Status status;
+    if (pipelining_enabled()) {
+      // §3.1.1: lock CAS + speculative undo-image read, one doorbell, one
+      // round trip. If the CAS loses, the read result is discarded and the
+      // conflict path below runs exactly as in the unpipelined protocol.
+      status = PostLockAndFetchChain(op, store::kUnlocked, &observed,
+                                     rider, &fetched);
+    } else {
+      status =
+          server_->qp(op->lock_node)
+              ->CompareSwap(info.region_rkeys[op->lock_node],
+                            info.layout.LockOffset(op->lock_slot),
+                            store::kUnlocked, mine, &observed);
+      CountRtts(&stats_.execution_rtts, 1);
+    }
+    rider = nullptr;  // A rider batch is drained by the first attempt.
     if (status.IsUnavailable()) {
       if (server_->halted()) return status;
       // Primary died under us: fail over to the next alive replica.
@@ -212,7 +277,7 @@ Status Coordinator::LockAndFetch(WriteOp* op) {
     if (observed == store::kUnlocked) {
       PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLock));
       op->locked = true;
-      PANDORA_RETURN_NOT_OK(FetchUndoImage(op));
+      if (!fetched) PANDORA_RETURN_NOT_OK(FetchUndoImage(op));
       PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLockFetch));
       return Status::OK();
     }
@@ -222,18 +287,27 @@ Status Coordinator::LockAndFetch(WriteOp* op) {
       if (config_.pill_enabled()) {
         // PILL (§3.1.2): the lock is stray — its owner has failed and its
         // transaction was never logged (stray-lock notification is sent
-        // only after log recovery). Steal it with one more CAS.
+        // only after log recovery). Steal it with one more CAS; under
+        // pipelining the steal CAS and the undo-image read share one
+        // doorbell just like the fast path.
         uint64_t steal_observed = 0;
-        PANDORA_RETURN_NOT_OK(
-            server_->qp(op->lock_node)
-                ->CompareSwap(info.region_rkeys[op->lock_node],
-                              info.layout.LockOffset(op->lock_slot),
-                              observed, mine, &steal_observed));
+        bool steal_fetched = false;
+        if (pipelining_enabled()) {
+          PANDORA_RETURN_NOT_OK(PostLockAndFetchChain(
+              op, observed, &steal_observed, nullptr, &steal_fetched));
+        } else {
+          PANDORA_RETURN_NOT_OK(
+              server_->qp(op->lock_node)
+                  ->CompareSwap(info.region_rkeys[op->lock_node],
+                                info.layout.LockOffset(op->lock_slot),
+                                observed, mine, &steal_observed));
+          CountRtts(&stats_.execution_rtts, 1);
+        }
         if (steal_observed == observed) {
           stats_.locks_stolen++;
           PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLock));
           op->locked = true;
-          PANDORA_RETURN_NOT_OK(FetchUndoImage(op));
+          if (!steal_fetched) PANDORA_RETURN_NOT_OK(FetchUndoImage(op));
           PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterLockFetch));
           return Status::OK();
         }
@@ -273,14 +347,11 @@ Status Coordinator::WriteLockIntent(const WriteOp& op) {
   PANDORA_RETURN_NOT_OK(
       log_writer_.PostCoordinatorRecord(record, &batch, &slots));
   stats_.log_records_written++;
+  CountRtts(&stats_.execution_rtts, 1);
   return batch.Execute();
 }
 
-Status Coordinator::WritePerObjectLog(WriteOp* op) {
-  if (config_.disable_recovery_logging) return Status::OK();
-  if (op->is_insert && config_.bugs.missing_insert_logging) {
-    return Status::OK();  // FORD bug: inserts never logged.
-  }
+Status Coordinator::PostPerObjectLog(WriteOp* op, rdma::VerbBatch* batch) {
   store::LogRecord record;
   record.txn_id = txn_id_;
   record.coord_id = coord_id_;
@@ -293,11 +364,21 @@ Status Coordinator::WritePerObjectLog(WriteOp* op) {
   if (!op->is_insert) entry.old_value = op->old_value;
   record.entries.push_back(std::move(entry));
 
-  rdma::VerbBatch batch;
   PANDORA_RETURN_NOT_OK(log_writer_.PostPerObjectRecord(
-      record, op->replicas, &batch, &op->log_slots));
+      record, op->replicas, batch, &op->log_slots));
   stats_.log_records_written++;
+  return Status::OK();
+}
+
+Status Coordinator::WritePerObjectLog(WriteOp* op) {
+  if (config_.disable_recovery_logging) return Status::OK();
+  if (op->is_insert && config_.bugs.missing_insert_logging) {
+    return Status::OK();  // FORD bug: inserts never logged.
+  }
+  rdma::VerbBatch batch;
+  PANDORA_RETURN_NOT_OK(PostPerObjectLog(op, &batch));
   PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeLogWrite));
+  CountRtts(&stats_.execution_rtts, 1);
   PANDORA_RETURN_NOT_OK(batch.Execute());
   return MaybeCrash(CrashPoint::kAfterLogWrite);
 }
@@ -327,25 +408,38 @@ Status Coordinator::StageWrite(WriteOp op) {
     // FORD bug: defer the lock to commit time, where it overlaps
     // validation. Prefetch the undo image without holding the lock.
     PANDORA_RETURN_NOT_OK(FetchUndoImageUnlocked(&op));
-    write_set_.push_back(std::move(op));
+    AppendWriteOp(std::move(op));
     return Status::OK();
   }
 
   const bool log_before_lock = config_.bugs.logging_without_locking &&
                                config_.mode != ProtocolMode::kPandora;
+  rdma::VerbBatch log_rider;
+  bool rider_pending = false;
   if (log_before_lock) {
     // FORD bug: undo record written before the lock is grabbed, with a
     // pre-lock value image.
     PANDORA_RETURN_NOT_OK(FetchUndoImageUnlocked(&op));
-    PANDORA_RETURN_NOT_OK(WritePerObjectLog(&op));
+    if (pipelining_enabled() && !config_.disable_recovery_logging &&
+        !(op.is_insert && config_.bugs.missing_insert_logging)) {
+      // The record's content is already known here (pre-lock image), so
+      // its writes can ride the lock CAS + read doorbell group instead of
+      // costing a round trip of their own. The normal (fixed) FORD path
+      // cannot coalesce this way: its record carries the post-lock image
+      // the chain is about to fetch.
+      PANDORA_RETURN_NOT_OK(PostPerObjectLog(&op, &log_rider));
+      rider_pending = true;
+    } else {
+      PANDORA_RETURN_NOT_OK(WritePerObjectLog(&op));
+    }
   }
 
   // Stage before locking so the abort path sees this op (the Complicit
   // Aborts bug releases locks of ops that never acquired them).
-  write_set_.push_back(std::move(op));
-  WriteOp* staged = &write_set_.back();
+  WriteOp* staged = AppendWriteOp(std::move(op));
 
-  Status status = LockAndFetch(staged);
+  Status status =
+      LockAndFetch(staged, rider_pending ? &log_rider : nullptr);
   if (status.IsBusy()) {
     Status abort_status = AbortInternal();
     if (abort_status.IsUnavailable()) return abort_status;
@@ -395,15 +489,17 @@ Status Coordinator::ReadInternal(store::TableId table, store::Key key,
     bool existed = false;
     PANDORA_RETURN_NOT_OK(
         ResolveSlot(table, key, node, /*claim_for_insert=*/false, &slot,
-                    &existed));
+                    &existed, &stats_.execution_rtts));
     if (!existed) return Status::NotFound("key absent");
 
     const store::TableLayout& layout = info.layout;
-    const size_t len = 24 + layout.padded_value_size();
-    std::vector<char> buf(len);
+    const size_t len = store::SlotReadSize(layout);
+    read_buf_.resize(len);
+    char* buf = read_buf_.data();
+    CountRtts(&stats_.execution_rtts, 1);
     const Status status =
         server_->qp(node)->Read(info.region_rkeys[node],
-                                layout.LockOffset(slot), buf.data(), len);
+                                layout.LockOffset(slot), buf, len);
     if (status.IsUnavailable()) {
       if (server_->halted()) return status;
       PANDORA_RETURN_NOT_OK(ResolveApplyFailure(node));
@@ -411,8 +507,8 @@ Status Coordinator::ReadInternal(store::TableId table, store::Key key,
     }
     PANDORA_RETURN_NOT_OK(status);
 
-    const store::LockWord lock = DecodeFixed64(buf.data());
-    const store::VersionWord version = DecodeFixed64(buf.data() + 8);
+    const store::LockWord lock = DecodeFixed64(buf);
+    const store::VersionWord version = DecodeFixed64(buf + 8);
     if (store::LockHeld(lock) && store::LockOwner(lock) != coord_id_) {
       const uint16_t owner = store::LockOwner(lock);
       if (server_->failed_ids().Test(owner)) {
@@ -447,7 +543,7 @@ Status Coordinator::ReadInternal(store::TableId table, store::Key key,
     if (!store::ObjectVisible(version)) {
       return Status::NotFound("object deleted or not yet committed");
     }
-    value->assign(buf.data() + 24, info.spec.value_size);
+    value->assign(buf + 24, info.spec.value_size);
     return Status::OK();
   }
 }
@@ -459,6 +555,9 @@ Status Coordinator::ReadRange(
   if (hi < lo || hi - lo > 4096) {
     return Status::InvalidArgument("range too large (cap 4096 keys)");
   }
+  if (pipelining_enabled()) {
+    return FinalizeIfCrashed(ReadRangeBatched(table, lo, hi, out));
+  }
   for (store::Key key = lo;; ++key) {
     std::string value;
     const Status status = Read(table, key, &value);
@@ -468,6 +567,168 @@ Status Coordinator::ReadRange(
       return status;
     }
     if (key == hi) break;
+  }
+  return Status::OK();
+}
+
+Status Coordinator::ReadRangeBatched(
+    store::TableId table, store::Key lo, store::Key hi,
+    std::vector<std::pair<store::Key, std::string>>* out) {
+  const cluster::TableInfo& info = cluster_->catalog().table(table);
+  const store::TableLayout& layout = info.layout;
+  const size_t count = static_cast<size_t>(hi - lo) + 1;
+
+  // Per-key resolved value; unset entries are absent keys. Filled out of
+  // order, emitted in key order at the end.
+  std::vector<std::string> values(count);
+  std::vector<bool> present(count, false);
+
+  struct Target {
+    store::Key key = 0;
+    rdma::NodeId node = rdma::kInvalidNodeId;
+    uint64_t slot = 0;
+  };
+  std::vector<Target> targets;
+  std::vector<store::ProbeRequest> probes;
+  std::vector<Target> probe_targets;  // Aligned with `probes` (slot unset).
+
+  for (store::Key key = lo;; ++key) {
+    if (const WriteOp* op = FindWriteOp(table, key)) {
+      // Read-your-writes, straight from the staged image.
+      if (!op->is_delete) {
+        values[key - lo].assign(op->new_value.data(),
+                                info.spec.value_size);
+        present[key - lo] = true;
+      }
+      if (key == hi) break;
+      continue;
+    }
+    const rdma::NodeId node = cluster_->PrimaryFor(table, key);
+    if (node == rdma::kInvalidNodeId) {
+      return Status::Internal("all replicas of object lost (> f failures)");
+    }
+    if (const auto cached = cluster_->addresses().Lookup(table, node, key)) {
+      targets.push_back({key, node, *cached});
+    } else {
+      probes.push_back(
+          {server_->qp(node), info.region_rkeys[node], key});
+      probe_targets.push_back({key, node, 0});
+    }
+    if (key == hi) break;
+  }
+
+  // Resolve cache misses with batched probe rounds (max-RTT per round
+  // across all unresolved keys, instead of a sequential chain per key).
+  if (!probes.empty()) {
+    std::vector<store::ProbeOutcome> outcomes;
+    uint64_t probe_rounds = 0;
+    const Status probe_status = store::FindSlotsByBatchedProbe(
+        layout, probes, &outcomes, &probe_rounds);
+    CountRtts(&stats_.execution_rtts, probe_rounds);
+    if (!probe_status.ok()) {
+      // A verb failed (dead server / our own halt): fall back to the
+      // sequential path for the unresolved keys — it carries the
+      // fail-over and retry machinery.
+      for (const Target& target : probe_targets) {
+        std::string value;
+        const Status status = ReadInternal(table, target.key, &value);
+        if (status.ok()) {
+          values[target.key - lo] = std::move(value);
+          present[target.key - lo] = true;
+        } else if (!status.IsNotFound()) {
+          return status;
+        }
+      }
+      probe_targets.clear();
+    } else {
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].status.IsNotFound()) continue;  // Key absent.
+        PANDORA_RETURN_NOT_OK(outcomes[i].status);
+        Target target = probe_targets[i];
+        target.slot = outcomes[i].state.slot;
+        cluster_->addresses().InsertOverlay(table, target.node, target.key,
+                                            target.slot);
+        targets.push_back(target);
+      }
+    }
+  }
+
+  // One combined {lock, version, key, value} read per existing key, all in
+  // one doorbell round.
+  const size_t len = store::SlotReadSize(layout);
+  range_buf_.resize(len * targets.size());
+  rdma::VerbBatch batch;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    store::PostSlotRead(&batch, server_->qp(targets[i].node),
+                        info.region_rkeys[targets[i].node], layout,
+                        targets[i].slot, range_buf_.data() + i * len);
+  }
+  if (batch.size() > 0) {
+    CountRtts(&stats_.execution_rtts, 1);
+    const Status status = batch.Execute();
+    if (!status.ok()) {
+      if (status.IsUnavailable() && server_->halted()) return status;
+      if (status.IsPermissionDenied()) return status;
+      // A replica died mid-round: re-read the affected keys through the
+      // sequential path, which fails over to the new primary.
+      for (const Target& target : targets) {
+        std::string value;
+        const Status read_status = ReadInternal(table, target.key, &value);
+        if (read_status.ok()) {
+          values[target.key - lo] = std::move(value);
+          present[target.key - lo] = true;
+        } else if (!read_status.IsNotFound()) {
+          return read_status;
+        }
+      }
+      targets.clear();
+    }
+  }
+
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const Target& target = targets[i];
+    const store::SlotReadView view =
+        store::DecodeSlotRead(range_buf_.data() + i * len);
+    if (store::LockHeld(view.lock) &&
+        store::LockOwner(view.lock) != coord_id_) {
+      const uint16_t owner = store::LockOwner(view.lock);
+      if (server_->failed_ids().Test(owner) && config_.pill_enabled()) {
+        // Stray lock (§3.1.2): the object state is the last committed one.
+        stats_.stray_reads_ignored++;
+      } else if (server_->failed_ids().Test(owner) &&
+                 config_.stall_on_conflict) {
+        // Object awaiting recovery: take the sequential path for this key
+        // so its stall/retry loop applies.
+        std::string value;
+        const Status status = ReadInternal(table, target.key, &value);
+        if (status.ok()) {
+          values[target.key - lo] = std::move(value);
+          present[target.key - lo] = true;
+        } else if (!status.IsNotFound()) {
+          return status;
+        }
+        continue;
+      } else {
+        stats_.lock_conflicts++;
+        Status abort_status = AbortInternal();
+        if (abort_status.IsUnavailable()) return abort_status;
+        return Status::Aborted("read conflict: object locked");
+      }
+    }
+    // Track absence too, exactly as the point read does.
+    read_set_.push_back(
+        {table, target.key, target.node, target.slot, view.version});
+    if (store::ObjectVisible(view.version)) {
+      values[target.key - lo].assign(view.value, info.spec.value_size);
+      present[target.key - lo] = true;
+    }
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    if (present[i]) {
+      out->emplace_back(lo + static_cast<store::Key>(i),
+                        std::move(values[i]));
+    }
   }
   return Status::OK();
 }
@@ -539,10 +800,10 @@ Status Coordinator::Delete(store::TableId table, store::Key key) {
   if (!store::ObjectVisible(write_set_.back().old_version)) {
     // Deleting a non-existent object: release the lock we just took and
     // drop the op; the transaction stays live.
-    WriteOp dropped = std::move(write_set_.back());
-    write_set_.pop_back();
+    WriteOp dropped = PopLastWriteOp();
     if (dropped.locked) {
       const cluster::TableInfo& t = cluster_->catalog().table(table);
+      CountRtts(&stats_.execution_rtts, 1);
       server_->qp(dropped.lock_node)
           ->Write(t.region_rkeys[dropped.lock_node],
                   t.layout.LockOffset(dropped.lock_slot), &kUnlockedWord,
@@ -604,10 +865,11 @@ Status Coordinator::CheckValidation(
       bool existed = false;
       PANDORA_RETURN_NOT_OK(ResolveSlot(r.table, r.key, node,
                                         /*claim_for_insert=*/false, &slot,
-                                        &existed));
+                                        &existed, &stats_.commit_rtts));
       if (!existed) return Status::Aborted("object vanished");
       alignas(8) char buf[16];
       const cluster::TableInfo& info = cluster_->catalog().table(r.table);
+      CountRtts(&stats_.commit_rtts, 1);
       PANDORA_RETURN_NOT_OK(server_->qp(node)->Read(
           info.region_rkeys[node], info.layout.LockOffset(slot), buf, 16));
       lock = DecodeFixed64(buf);
@@ -651,6 +913,7 @@ Status Coordinator::CommitInternal() {
         BuildCoordinatorRecord(), &batch, &coord_log_slots_);
     if (log_status.IsResourceExhausted()) {
       // Write-set larger than the coordinator's log area: abort cleanly.
+      if (batch.size() > 0) CountRtts(&stats_.commit_rtts, 1);
       batch.Execute();
       Status abort_status = AbortInternal();
       if (abort_status.IsUnavailable()) return abort_status;
@@ -661,6 +924,7 @@ Status Coordinator::CommitInternal() {
     if (!batching_enabled()) {
       // Ablation: without doorbell batching the log write is its own
       // round trip instead of overlapping the validation reads.
+      CountRtts(&stats_.commit_rtts, 1);
       const Status status = batch.Execute();
       if (status.IsUnavailable() && server_->halted()) return status;
     }
@@ -681,6 +945,7 @@ Status Coordinator::CommitInternal() {
     }
   }
 
+  if (batch.size() > 0) CountRtts(&stats_.commit_rtts, 1);
   Status status = batch.Execute();
   if (status.IsUnavailable() && server_->halted()) return status;
   // A dead memory server inside the batch is tolerated: log writes to dead
@@ -750,6 +1015,7 @@ Status Coordinator::FlushForPersistence(
                0, &sink, sizeof(sink));
     stats_.nvm_flushes++;
   }
+  if (batch.size() > 0) CountRtts(&stats_.commit_rtts, 1);
   const Status status = batch.Execute();
   if (status.IsUnavailable() && server_->halted()) return status;
   return Status::OK();
@@ -788,6 +1054,7 @@ Status Coordinator::ApplyWrites() {
       for (size_t r = 0; r < op.replicas.size(); ++r) {
         const rdma::NodeId node = op.replicas[r];
         if (!cluster_->membership().IsMemoryAlive(node)) continue;
+        CountRtts(&stats_.commit_rtts, 1);
         const Status status = server_->qp(node)->Write(
             info.region_rkeys[node], info.layout.VersionOffset(op.slots[r]),
             apply_bufs_[i].data(), apply_bufs_[i].size());
@@ -815,6 +1082,7 @@ Status Coordinator::ApplyWrites() {
                   apply_bufs_[i].data(), apply_bufs_[i].size());
     }
   }
+  if (batch.size() > 0) CountRtts(&stats_.commit_rtts, 1);
   const Status status = batch.Execute();
   if (!status.ok()) {
     if (server_->halted()) return Status::Unavailable("compute node halted");
@@ -834,6 +1102,7 @@ Status Coordinator::ApplyWrites() {
         for (int attempt = 0; attempt < 2; ++attempt) {
           if (!cluster_->membership().IsMemoryAlive(node)) break;
           alignas(8) uint64_t version = 0;
+          CountRtts(&stats_.commit_rtts, 1);
           Status read_status = server_->qp(node)->Read(
               info.region_rkeys[node],
               info.layout.VersionOffset(op.slots[r]), &version, 8);
@@ -844,6 +1113,7 @@ Status Coordinator::ApplyWrites() {
           }
           PANDORA_RETURN_NOT_OK(read_status);
           if (version == new_version) break;
+          CountRtts(&stats_.commit_rtts, 1);
           Status write_status = server_->qp(node)->Write(
               info.region_rkeys[node],
               info.layout.VersionOffset(op.slots[r]), apply_bufs_[i].data(),
@@ -865,13 +1135,11 @@ Status Coordinator::ApplyWrites() {
 std::vector<rdma::NodeId> Coordinator::TouchedReplicaServers() const {
   std::vector<rdma::NodeId> servers;
   for (const WriteOp& op : write_set_) {
-    for (const rdma::NodeId node : op.replicas) {
-      if (std::find(servers.begin(), servers.end(), node) ==
-          servers.end()) {
-        servers.push_back(node);
-      }
-    }
+    servers.insert(servers.end(), op.replicas.begin(), op.replicas.end());
   }
+  std::sort(servers.begin(), servers.end());
+  servers.erase(std::unique(servers.begin(), servers.end()),
+                servers.end());
   return servers;
 }
 
@@ -884,6 +1152,7 @@ Status Coordinator::UnlockWriteSet(bool crash_points) {
       if (!op.locked) continue;
       if (!cluster_->membership().IsMemoryAlive(op.lock_node)) continue;
       const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+      CountRtts(&stats_.commit_rtts, 1);
       const Status status = server_->qp(op.lock_node)
                                 ->Write(info.region_rkeys[op.lock_node],
                                         info.layout.LockOffset(op.lock_slot),
@@ -908,6 +1177,7 @@ Status Coordinator::UnlockWriteSet(bool crash_points) {
                 info.layout.LockOffset(op.lock_slot), &kUnlockedWord,
                 sizeof(kUnlockedWord));
   }
+  if (batch.size() > 0) CountRtts(&stats_.commit_rtts, 1);
   const Status status = batch.Execute();
   if (status.IsUnavailable() && server_->halted()) return status;
   return Status::OK();
@@ -937,6 +1207,7 @@ Status Coordinator::AbortInternal() {
     }
   }
   if (batch.size() > 0) {
+    CountRtts(&stats_.commit_rtts, 1);
     const Status status = batch.Execute();
     if (status.IsUnavailable() && server_->halted()) return status;
   }
@@ -958,6 +1229,7 @@ Status Coordinator::AbortInternal() {
                        sizeof(kUnlockedWord));
   }
   if (unlock_batch.size() > 0) {
+    CountRtts(&stats_.commit_rtts, 1);
     const Status status = unlock_batch.Execute();
     if (status.IsUnavailable() && server_->halted()) return status;
   }

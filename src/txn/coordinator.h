@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "rdma/ordered_batch.h"
 #include "store/log_layout.h"
 #include "store/object_header.h"
 #include "txn/crash_hook.h"
@@ -136,18 +138,39 @@ class Coordinator {
   Status ReadInternal(store::TableId table, store::Key key,
                       std::string* value);
 
+  // Batched fast path of ReadRange: resolves and reads the whole range in
+  // max-RTT doorbell rounds instead of per-key sequential round trips.
+  Status ReadRangeBatched(
+      store::TableId table, store::Key lo, store::Key hi,
+      std::vector<std::pair<store::Key, std::string>>* out);
+
   // Resolves the slot of (table, key) on `node`, consulting the address
-  // cache first and probing remotely on a miss.
+  // cache first and probing remotely on a miss. Probe round trips are
+  // charged to `rtt_counter` (an execution- or commit-phase stat).
   Status ResolveSlot(store::TableId table, store::Key key,
                      rdma::NodeId node, bool claim_for_insert,
-                     uint64_t* slot, bool* existed);
+                     uint64_t* slot, bool* existed, uint64_t* rtt_counter);
 
   // Fills op->replicas / op->slots / op->lock_node.
   Status ResolvePlacement(WriteOp* op);
 
   // Locks op's primary with CAS (stealing stray locks under PILL; stalling
-  // or aborting on live conflicts) and fetches the undo image.
-  Status LockAndFetch(WriteOp* op);
+  // or aborting on live conflicts) and fetches the undo image. With
+  // pipelining the CAS and the (speculative) undo-image read share one
+  // doorbell; a non-null `rider` batch (per-object log writes whose
+  // content is already known) fires in the same doorbell group, so the
+  // whole step still costs a single round trip.
+  Status LockAndFetch(WriteOp* op, rdma::VerbBatch* rider = nullptr);
+
+  // Pipelined lock-then-read chain (§3.1.1): posts the lock CAS
+  // (`expected` -> mine) and the undo-image read on the lock node's QP in
+  // one doorbell. RC in-order delivery makes the read observe the
+  // post-CAS state, so when the CAS wins (*observed == expected) the image
+  // is already decoded into op->old_version / old_value and *fetched is
+  // set; when it loses, the speculative read is discarded.
+  Status PostLockAndFetchChain(WriteOp* op, uint64_t expected,
+                               uint64_t* observed, rdma::VerbBatch* rider,
+                               bool* fetched);
 
   // Reads version word + value of op's primary slot (post-lock).
   Status FetchUndoImage(WriteOp* op);
@@ -159,7 +182,12 @@ class Coordinator {
   // Stages a Write/Insert/Delete after placement resolution.
   Status StageWrite(WriteOp op);
 
-  // Writes the per-object undo record (baseline modes).
+  // Posts the per-object undo record's writes into `batch` without
+  // waiting (baseline modes).
+  Status PostPerObjectLog(WriteOp* op, rdma::VerbBatch* batch);
+
+  // Writes the per-object undo record (baseline modes) as its own
+  // doorbell / round trip.
   Status WritePerObjectLog(WriteOp* op);
 
   // Traditional scheme: lock-intent record before the lock CAS.
@@ -195,6 +223,19 @@ class Coordinator {
     return crash_hook_ == nullptr && !config_.sequential_verbs;
   }
 
+  // True when the execution phase may pipeline dependent verbs (lock CAS +
+  // speculative read, batched range reads) into single doorbells.
+  bool pipelining_enabled() const {
+    return batching_enabled() && config_.pipeline_execution;
+  }
+
+  // Charges `n` round trips to the given TxnStats counter (execution_rtts
+  // or commit_rtts) and rings `n` doorbells.
+  void CountRtts(uint64_t* counter, uint64_t n) {
+    *counter += n;
+    stats_.doorbells += n;
+  }
+
   // Abort path. `validated_log_slot` >= 0 means a Pandora coordinator-log
   // record was written and must be truncated.
   Status AbortInternal();
@@ -205,7 +246,28 @@ class Coordinator {
 
   void FinishTxn();
 
+  // Write-set index: hashed (table, key) -> write_set_ position, so
+  // read-your-writes and re-writes stay O(1) on large write-sets.
+  struct TableKey {
+    store::TableId table;
+    store::Key key;
+    bool operator==(const TableKey& other) const {
+      return table == other.table && key == other.key;
+    }
+  };
+  struct TableKeyHasher {
+    size_t operator()(const TableKey& tk) const {
+      const uint64_t h =
+          (tk.key + tk.table) * 0x9e3779b97f4a7c15ULL;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
   WriteOp* FindWriteOp(store::TableId table, store::Key key);
+  // Appends `op` to the write-set and indexes it; returns the staged op.
+  WriteOp* AppendWriteOp(WriteOp op);
+  // Removes the most recently staged op (Delete of an absent key).
+  WriteOp PopLastWriteOp();
 
   cluster::Cluster* cluster_;
   cluster::ComputeServer* server_;
@@ -220,7 +282,13 @@ class Coordinator {
   uint64_t txn_id_ = 0;
   uint64_t next_txn_seq_ = 1;
   std::vector<WriteOp> write_set_;
+  std::unordered_map<TableKey, size_t, TableKeyHasher> write_index_;
   std::vector<ReadOp> read_set_;
+  // Reusable scratch for undo-image fetches and point reads: the hot path
+  // must not heap-allocate per verb.
+  std::vector<char> fetch_buf_;
+  std::vector<char> read_buf_;
+  std::vector<char> range_buf_;
   // Pandora: coordinator-log slots used by the in-flight transaction
   // (empty = no record written yet).
   std::vector<uint32_t> coord_log_slots_;

@@ -75,6 +75,15 @@ struct TxnConfig {
   /// round trip per verb instead of one per group).
   bool sequential_verbs = false;
 
+  /// Execution-phase doorbell pipelining (§3.1.1): post the lock CAS and a
+  /// speculative undo-image read on the same QP in one doorbell (RC
+  /// in-order delivery makes the read observe the post-CAS state), so a
+  /// write op's lock+fetch costs 1 round trip instead of 2; range reads
+  /// batch their per-key verbs into max-RTT rounds likewise. The ablation
+  /// knob for the paper's round-trip accounting. Ignored (off) when
+  /// `sequential_verbs` is set or a crash hook is installed.
+  bool pipeline_execution = true;
+
   /// Disables the online-recovery component (C2) entirely: no undo
   /// logging, no truncation. Models the *non-recoverable* FORD that
   /// Figure 6 compares against — fast, but a compute crash leaves memory
@@ -97,6 +106,17 @@ struct TxnStats {
   uint64_t log_records_written = 0;
   uint64_t nvm_flushes = 0;
   uint64_t crashed = 0;
+  /// Round trips waited out during the execution phase (Read / Write /
+  /// Insert / Delete / ReadRange): slot-resolution probes, lock CASes,
+  /// undo-image fetches, per-object log writes. A pipelined lock+fetch
+  /// counts 1; unpipelined counts 2.
+  uint64_t execution_rtts = 0;
+  /// Round trips waited out during Commit (log+validation, apply, flush,
+  /// unlock) and the abort path.
+  uint64_t commit_rtts = 0;
+  /// Doorbells rung: one per verb group issued together (a batch of N
+  /// verbs is 1 doorbell; N sequential verbs are N).
+  uint64_t doorbells = 0;
 };
 
 }  // namespace txn

@@ -226,6 +226,9 @@ DriverResult Driver::Run() {
       result.totals.log_records_written += stats.log_records_written;
       result.totals.nvm_flushes += stats.nvm_flushes;
       result.totals.crashed += stats.crashed;
+      result.totals.execution_rtts += stats.execution_rtts;
+      result.totals.commit_rtts += stats.commit_rtts;
+      result.totals.doorbells += stats.doorbells;
     }
   }
   return result;

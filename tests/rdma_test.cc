@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "rdma/fabric.h"
+#include "rdma/ordered_batch.h"
 
 namespace pandora {
 namespace rdma {
@@ -241,6 +242,149 @@ TEST(VerbBatchTest, BatchLatencyIsMaxNotSum) {
   EXPECT_GE(elapsed, 60000u);
   // Must be far below 8 sequential RTTs (480 us); allow generous slack.
   EXPECT_LT(elapsed, 300000u);
+}
+
+TEST_F(FabricTest, OrderedBatchAppliesInPostOrder) {
+  // The §3.1.1 chain: a read posted behind a CAS on the same QP must
+  // observe the post-CAS state (RC in-order delivery).
+  OrderedBatch chain(qp_.get());
+  uint64_t observed = 99;
+  alignas(8) uint64_t lock_word = 0;
+  chain.CompareSwap(rkey_, 0, 0, 0xabcd, &observed);
+  chain.Read(rkey_, 0, &lock_word, 8);
+  ASSERT_TRUE(chain.Execute().ok());
+  EXPECT_EQ(observed, 0u);          // CAS won...
+  EXPECT_EQ(lock_word, 0xabcdu);    // ...and the chained read saw it.
+
+  // A losing CAS leaves memory unchanged and the chained read proves it.
+  chain.CompareSwap(rkey_, 0, 0, 0xeeee, &observed);
+  chain.Read(rkey_, 0, &lock_word, 8);
+  ASSERT_TRUE(chain.Execute().ok());
+  EXPECT_EQ(observed, 0xabcdu);
+  EXPECT_EQ(lock_word, 0xabcdu);
+}
+
+TEST_F(FabricTest, OrderedBatchWriteThenReadChains) {
+  alignas(8) uint64_t out = 7777, in = 0;
+  OrderedBatch chain(qp_.get());
+  chain.Write(rkey_, 64, &out, 8);
+  chain.Read(rkey_, 64, &in, 8);
+  EXPECT_EQ(chain.size(), 2u);
+  ASSERT_TRUE(chain.Execute().ok());
+  EXPECT_EQ(in, 7777u);
+  EXPECT_EQ(chain.size(), 0u);  // Reset for reuse.
+}
+
+TEST_F(FabricTest, OrderedBatchFlushesVerbsAfterError) {
+  // A failed verb moves the chain into an error state: later verbs are
+  // flushed without applying (IBV_WC_WR_FLUSH_ERR).
+  alignas(8) uint64_t w = 5;
+  OrderedBatch chain(qp_.get());
+  const size_t i0 = chain.Write(rkey_, 0, &w, 8);
+  alignas(8) char bad[8];
+  const size_t i1 = chain.Read(rkey_, 9999, bad, 8);  // out of bounds
+  const size_t i2 = chain.Write(rkey_, 8, &w, 8);     // must be flushed
+  EXPECT_TRUE(chain.status(i0).ok());
+  EXPECT_TRUE(chain.status(i1).IsInvalidArgument());
+  EXPECT_TRUE(chain.status(i2).IsAborted());
+  EXPECT_TRUE(chain.Execute().IsInvalidArgument());
+
+  uint64_t v = 1;
+  ASSERT_TRUE(qp_->Read(rkey_, 8, &v, 8).ok());
+  EXPECT_EQ(v, 0u);  // The flushed write never landed.
+  ASSERT_TRUE(qp_->Read(rkey_, 0, &v, 8).ok());
+  EXPECT_EQ(v, 5u);  // The pre-error write did.
+
+  // Execute() cleared the error state: the chain is reusable.
+  chain.Write(rkey_, 8, &w, 8);
+  EXPECT_TRUE(chain.Execute().ok());
+}
+
+TEST_F(FabricTest, OrderedBatchOnHaltedOrFencedQp) {
+  alignas(8) uint64_t w = 3;
+  fabric_->HaltNode(kComputeNode);
+  {
+    OrderedBatch chain(qp_.get());
+    chain.Write(rkey_, 0, &w, 8);
+    chain.Read(rkey_, 0, &w, 8);
+    EXPECT_TRUE(chain.status(0).IsUnavailable());
+    EXPECT_TRUE(chain.status(1).IsAborted());  // flushed
+    EXPECT_TRUE(chain.Execute().IsUnavailable());
+  }
+  fabric_->ResumeNode(kComputeNode);
+
+  pd_->RevokeNode(kComputeNode);
+  {
+    OrderedBatch chain(qp_.get());
+    chain.Write(rkey_, 0, &w, 8);
+    EXPECT_TRUE(chain.Execute().IsPermissionDenied());
+  }
+  pd_->RestoreNode(kComputeNode);
+
+  uint64_t v = 9;
+  ASSERT_TRUE(qp_->Read(rkey_, 0, &v, 8).ok());
+  EXPECT_EQ(v, 0u);  // Nothing reached memory while halted/fenced.
+}
+
+TEST(OrderedBatchTest, ChainLatencyIsOneRttNotTwo) {
+  NetworkConfig config;
+  config.one_way_ns = 30000;  // 60 us RTT
+  config.per_byte_ns = 0;
+  Fabric fabric(config);
+  ProtectionDomain* pd = fabric.AttachMemoryNode(0);
+  const RKey rkey = pd->RegisterRegion(256, "r");
+  auto qp = fabric.CreateQueuePair(1, 0);
+
+  // Lock CAS + speculative read in one doorbell: one round trip.
+  uint64_t observed = 0;
+  alignas(8) char image[16];
+  OrderedBatch chain(qp.get());
+  chain.CompareSwap(rkey, 0, 0, 1, &observed);
+  chain.Read(rkey, 8, image, 16);
+  const uint64_t t0 = NowNanos();
+  ASSERT_TRUE(chain.Execute().ok());
+  const uint64_t elapsed = NowNanos() - t0;
+  EXPECT_GE(elapsed, 60000u);
+  // Far below two sequential round trips (120 us); generous slack for
+  // scheduling noise.
+  EXPECT_LT(elapsed, 110000u);
+}
+
+TEST(OrderedBatchTest, ExecuteCoversRiderBatchRtt) {
+  NetworkConfig config;
+  config.one_way_ns = 20000;  // 40 us RTT
+  config.per_byte_ns = 0;
+  Fabric fabric(config);
+  ProtectionDomain* pd = fabric.AttachMemoryNode(0);
+  ProtectionDomain* pd2 = fabric.AttachMemoryNode(2);
+  const RKey rkey = pd->RegisterRegion(256, "r");
+  const RKey rkey2 = pd2->RegisterRegion(1024, "r2");
+  auto qp = fabric.CreateQueuePair(1, 0);
+  auto qp2 = fabric.CreateQueuePair(1, 2);
+
+  // A cross-QP VerbBatch (e.g. per-object log writes) rides the same
+  // doorbell group as the chain: one wait covers both; Collect() then
+  // drains the rider without a second spin.
+  alignas(8) char record[512] = {1, 2, 3};
+  VerbBatch rider;
+  rider.Write(qp2.get(), rkey2, 0, record, 512);
+
+  uint64_t observed = 0;
+  alignas(8) char image[16];
+  OrderedBatch chain(qp.get());
+  chain.CompareSwap(rkey, 0, 0, 1, &observed);
+  chain.Read(rkey, 8, image, 16);
+
+  const uint64_t t0 = NowNanos();
+  ASSERT_TRUE(chain.Execute(rider.pending_max_rtt_ns()).ok());
+  ASSERT_TRUE(rider.Collect().ok());
+  const uint64_t elapsed = NowNanos() - t0;
+  EXPECT_GE(elapsed, 40000u);   // At least the slowest round trip...
+  EXPECT_LT(elapsed, 80000u);   // ...but nowhere near two of them.
+
+  alignas(8) char check[8];
+  ASSERT_TRUE(qp2->Read(rkey2, 0, check, 8).ok());
+  EXPECT_EQ(check[2], 3);
 }
 
 }  // namespace

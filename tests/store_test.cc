@@ -317,6 +317,46 @@ TEST_F(RemoteObjectTest, FullRegionExhausts) {
                   .IsResourceExhausted());
 }
 
+TEST_F(RemoteObjectTest, BatchedProbeResolvesMixedOutcomes) {
+  // A present key, a colliding present key, and an absent key resolve in
+  // parallel rounds; round count = the longest probe chain, not the sum.
+  const uint64_t home = layout_.HomeSlot(pandora::HashKey(100));
+  Key collider = 101;
+  while (layout_.HomeSlot(pandora::HashKey(collider)) != home) ++collider;
+  LoadKey(100, 4);
+  LoadKey(collider, 9);
+
+  std::vector<ProbeRequest> requests(3);
+  for (auto& request : requests) {
+    request.qp = qp_.get();
+    request.rkey = rkey_;
+  }
+  requests[0].key = 100;
+  requests[1].key = collider;
+  requests[2].key = 31337;  // absent
+
+  std::vector<ProbeOutcome> outcomes;
+  uint64_t rounds = 0;
+  ASSERT_TRUE(FindSlotsByBatchedProbe(layout_, requests, &outcomes, &rounds)
+                  .ok());
+  ASSERT_EQ(outcomes.size(), 3u);
+  ASSERT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(VersionOf(outcomes[0].state.version), 4u);
+  ASSERT_TRUE(outcomes[1].status.ok());
+  EXPECT_EQ(VersionOf(outcomes[1].state.version), 9u);
+  EXPECT_TRUE(outcomes[1].state.slot != outcomes[0].state.slot);
+  EXPECT_TRUE(outcomes[2].status.IsNotFound());
+  // The collider sits at probe distance 2; three keys resolved in the two
+  // rounds that chain needed.
+  EXPECT_EQ(rounds, 2u);
+
+  // Single-key sanity: the per-key helper agrees with the batched one.
+  SlotState state;
+  ASSERT_TRUE(
+      FindSlotByProbe(qp_.get(), rkey_, layout_, collider, &state).ok());
+  EXPECT_EQ(state.slot, outcomes[1].state.slot);
+}
+
 }  // namespace
 }  // namespace store
 }  // namespace pandora

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/clock.h"
 #include "common/coding.h"
 #include "store/remote_object.h"
 #include "txn/coordinator.h"
@@ -535,6 +536,110 @@ INSTANTIATE_TEST_SUITE_P(Modes, ProtocolSweep,
                          ::testing::Values(ProtocolMode::kPandora,
                                            ProtocolMode::kFordBaseline,
                                            ProtocolMode::kTraditionalLogging));
+
+TEST_F(TxnTest, PipelinedLockAndFetchCostsOneRoundTrip) {
+  // §3.1.1: with the address cache warm, staging a write is one doorbell
+  // (lock CAS + speculative undo read) under pipelining, two round trips
+  // without it.
+  auto coord = MakeCoordinator(0, 1);
+  ASSERT_TRUE(coord->Begin().ok());
+  ASSERT_TRUE(coord->Write(table_, 5, Padded("warm")).ok());
+  ASSERT_TRUE(coord->Commit().ok());
+
+  const uint64_t before = coord->stats().execution_rtts;
+  const uint64_t doorbells_before = coord->stats().doorbells;
+  ASSERT_TRUE(coord->Begin().ok());
+  ASSERT_TRUE(coord->Write(table_, 5, Padded("hot")).ok());
+  EXPECT_EQ(coord->stats().execution_rtts - before, 1u);
+  EXPECT_EQ(coord->stats().doorbells - doorbells_before, 1u);
+  ASSERT_TRUE(coord->Commit().ok());
+
+  TxnConfig unpipelined;
+  unpipelined.pipeline_execution = false;
+  auto coord2 = MakeCoordinator(0, 2, unpipelined);
+  ASSERT_TRUE(coord2->Begin().ok());
+  ASSERT_TRUE(coord2->Write(table_, 5, Padded("warm2")).ok());
+  ASSERT_TRUE(coord2->Commit().ok());
+
+  const uint64_t before2 = coord2->stats().execution_rtts;
+  ASSERT_TRUE(coord2->Begin().ok());
+  ASSERT_TRUE(coord2->Write(table_, 5, Padded("hot2")).ok());
+  EXPECT_EQ(coord2->stats().execution_rtts - before2, 2u);
+  ASSERT_TRUE(coord2->Commit().ok());
+
+  auto reader = MakeCoordinator(1, 3);
+  EXPECT_EQ(ReadCommitted(reader.get(), 5), Padded("hot2"));
+}
+
+TEST_F(TxnTest, BatchedReadRangeUsesMaxRttRounds) {
+  // 10 keys, addresses pre-warmed by the bulk loader: the sequential path
+  // pays one slot-read round trip per key; the batched path reads all ten
+  // slots in a single combined doorbell.
+  auto pipelined = MakeCoordinator(0, 1);
+  std::vector<std::pair<store::Key, std::string>> out;
+  ASSERT_TRUE(pipelined->Begin().ok());
+  ASSERT_TRUE(pipelined->ReadRange(table_, 0, 9, &out).ok());
+  ASSERT_TRUE(pipelined->Commit().ok());
+  ASSERT_EQ(out.size(), 10u);
+  for (store::Key k = 0; k < 10; ++k) {
+    EXPECT_EQ(out[k].first, k);
+    EXPECT_EQ(out[k].second, Padded("init-" + std::to_string(k)));
+  }
+  const uint64_t batched_rtts = pipelined->stats().execution_rtts;
+
+  TxnConfig unpipelined_cfg;
+  unpipelined_cfg.pipeline_execution = false;
+  auto unpipelined = MakeCoordinator(1, 2, unpipelined_cfg);
+  out.clear();
+  ASSERT_TRUE(unpipelined->Begin().ok());
+  ASSERT_TRUE(unpipelined->ReadRange(table_, 0, 9, &out).ok());
+  ASSERT_TRUE(unpipelined->Commit().ok());
+  ASSERT_EQ(out.size(), 10u);
+  const uint64_t sequential_rtts = unpipelined->stats().execution_rtts;
+
+  EXPECT_LT(batched_rtts, sequential_rtts);
+  EXPECT_GE(sequential_rtts, 10u);
+  EXPECT_EQ(batched_rtts, 1u);
+}
+
+TEST(PipelineTimingTest, LockAndFetchWaitsOneRttNotTwo) {
+  // Timing regression for the tentpole claim: with a measurable network
+  // model, the pipelined lock+fetch spins out a single round trip.
+  cluster::ClusterConfig config;
+  config.memory_nodes = 3;
+  config.compute_nodes = 1;
+  config.replication = 2;
+  config.net.one_way_ns = 200'000;  // 400 us RTT: dwarfs scheduling noise.
+  config.net.per_byte_ns = 0;
+  config.log.max_coordinators = 64;
+  cluster::Cluster cluster(config);
+  const store::TableId table = cluster.CreateTable("t", 16, 64);
+  std::string v(16, 'x');
+  ASSERT_TRUE(cluster.LoadRow(table, 1, v).ok());
+
+  for (const bool pipelined : {true, false}) {
+    TxnConfig txn_config;
+    txn_config.pipeline_execution = pipelined;
+    Coordinator coord(&cluster, cluster.compute(0),
+                      pipelined ? 1 : 2, txn_config);
+    // Warm the address cache so the measured Write is only lock+fetch.
+    ASSERT_TRUE(coord.Begin().ok());
+    ASSERT_TRUE(coord.Write(table, 1, Slice(v)).ok());
+    ASSERT_TRUE(coord.Commit().ok());
+
+    ASSERT_TRUE(coord.Begin().ok());
+    const uint64_t t0 = NowNanos();
+    ASSERT_TRUE(coord.Write(table, 1, Slice(v)).ok());
+    const uint64_t elapsed = NowNanos() - t0;
+    EXPECT_TRUE(coord.Abort().IsAborted());
+    if (pipelined) {
+      EXPECT_GE(elapsed, 400'000u);  // One full round trip...
+      EXPECT_LT(elapsed, 780'000u);  // ...but clearly not two.
+    } else {
+      EXPECT_GE(elapsed, 800'000u);  // CAS then fetch: two round trips.
+    }
+  }
+}
 
 }  // namespace
 }  // namespace txn
