@@ -1,8 +1,10 @@
 // Reproduces Table 1 (§5.1): the litmus-testing framework's bug findings.
 // For each of the six FORD bugs, the corresponding bug switch is enabled
-// and the framework must flag a strict-serializability violation; with the
-// fixes in place (all switches off), every litmus test passes under
-// randomized crash injection.
+// and the framework must flag a strict-serializability violation — four
+// via exhaustive crash-schedule enumeration (deterministic, one pass),
+// two via the randomized sampler (intra-phase races the lockstep
+// rendezvous cannot order). With the fixes in place (all switches off),
+// every litmus test passes under randomized crash injection.
 
 #include <cstdio>
 
@@ -37,18 +39,33 @@ struct BugCase {
   litmus::LitmusSpec spec;
   uint32_t crash_percent;
   uint64_t seed;
+  /// kExhaustive hunts deterministically (one pass, lockstep rendezvous);
+  /// kRandom bugs need sampled interleavings, fresh-seeded per batch.
+  litmus::SchedulePolicy policy = litmus::SchedulePolicy::kRandom;
+  int runs_per_txn = 2;
+  /// Randomized hunts for intra-phase races widen the race window with a
+  /// slower network (see tests/litmus_test.cc, ComplicitAbortCaught).
+  uint64_t one_way_ns = 1500;
 };
 
 void RunBugCase(const BugCase& bug_case) {
   constexpr int kMaxBatches = 8;
   int iterations_used = 0;
-  for (int batch = 0; batch < kMaxBatches; ++batch) {
+  const int batches =
+      bug_case.policy == litmus::SchedulePolicy::kExhaustive ? 1 : kMaxBatches;
+  for (int batch = 0; batch < batches; ++batch) {
     litmus::HarnessConfig config = BaseConfig();
     config.txn.mode = bug_case.mode;
     config.txn.bugs = bug_case.flags;
     config.iterations = 120;
     config.crash_percent = bug_case.crash_percent;
     config.seed = bug_case.seed + static_cast<uint64_t>(batch) * 101;
+    config.schedule = bug_case.policy;
+    config.runs_per_txn = bug_case.runs_per_txn;
+    config.net.one_way_ns = bug_case.one_way_ns;
+    if (bug_case.policy == litmus::SchedulePolicy::kExhaustive) {
+      config.stop_after_violations = 1;
+    }
     litmus::LitmusHarness harness(config);
     const litmus::LitmusReport report = harness.Run(bug_case.spec);
     iterations_used += report.iterations;
@@ -114,9 +131,14 @@ int main() {
 
   flags = {};
   flags.complicit_abort = true;
+  // Intra-phase three-party CAS race: stays randomized (the lockstep
+  // rendezvous cannot order it — see ROADMAP.md) with the tuned wide-window
+  // parameters: 6 us one-way latency, 3 runs per slot.
   RunBugCase({"litmus-1", "Complicit Aborts", "C1",
               txn::ProtocolMode::kPandora, flags,
-              litmus::Litmus1LockRelease(), 0, 7});
+              litmus::Litmus1LockRelease(), 0, 7,
+              litmus::SchedulePolicy::kRandom, /*runs_per_txn=*/3,
+              /*one_way_ns=*/6000});
 
   flags = {};
   flags.missing_insert_logging = true;
@@ -127,25 +149,31 @@ int main() {
   flags = {};
   flags.covert_locks = true;
   RunBugCase({"litmus-2", "Covert Locks", "C1",
-              txn::ProtocolMode::kPandora, flags, litmus::Litmus2(), 0, 11});
+              txn::ProtocolMode::kPandora, flags, litmus::Litmus2(), 0, 11,
+              litmus::SchedulePolicy::kExhaustive});
 
   flags = {};
   flags.relaxed_locks = true;
   RunBugCase({"litmus-2", "Relaxed Locks", "C1",
-              txn::ProtocolMode::kPandora, flags, litmus::Litmus2(), 0, 13});
+              txn::ProtocolMode::kPandora, flags, litmus::Litmus2(), 0, 13,
+              litmus::SchedulePolicy::kExhaustive});
 
   flags = {};
   flags.lost_decision = true;
   RunBugCase({"litmus-3", "Lost Decision", "C2",
               txn::ProtocolMode::kFordBaseline, flags,
-              litmus::Litmus3AbortLogging(), 100, 19});
+              litmus::Litmus3AbortLogging(), 100, 19,
+              litmus::SchedulePolicy::kExhaustive});
 
   flags = {};
   flags.logging_without_locking = true;
   flags.lost_decision = true;
+  // runs_per_txn = 1: a second run on the same slot re-locks the row and
+  // closes the guilty unlocked-log window (see tests/litmus_test.cc).
   RunBugCase({"litmus-3", "Logging without locking", "C2",
               txn::ProtocolMode::kFordBaseline, flags,
-              litmus::Litmus1PartialOverlap(), 100, 23});
+              litmus::Litmus1PartialOverlap(), 100, 23,
+              litmus::SchedulePolicy::kExhaustive, /*runs_per_txn=*/1});
 
   return 0;
 }

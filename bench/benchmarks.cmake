@@ -15,6 +15,7 @@ function(pandora_add_bench name)
 endfunction()
 
 pandora_add_bench(bench_litmus_validation pandora_litmus)   # Table 1
+pandora_add_bench(bench_litmus_coverage pandora_litmus)     # §5 coverage
 pandora_add_bench(bench_recovery_latency)                   # Table 2, §6.1
 pandora_add_bench(bench_steady_state)                       # Figure 6
 pandora_add_bench(bench_pill_mttf)                          # Figure 7

@@ -1,5 +1,6 @@
 #include "litmus/harness.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -22,29 +23,6 @@ constexpr uint64_t kVarStride = 16;
 store::Key VarKey(int iteration, Var var) {
   return static_cast<store::Key>(iteration) * kVarStride + var;
 }
-
-// Hook that never fires. Installed on every coordinator so the protocols
-// run their litmus-grade sequential (per-replica) apply/unlock paths,
-// maximizing the interleavings a litmus test can observe.
-class NeverCrash : public txn::CrashHook {
- public:
-  bool MaybeCrash(txn::CrashPoint) override { return false; }
-};
-
-// Crash hook firing at the Nth protocol crash point the coordinator hits.
-class CrashAtOccurrence : public txn::CrashHook {
- public:
-  explicit CrashAtOccurrence(int occurrence) : remaining_(occurrence) {}
-
-  bool MaybeCrash(txn::CrashPoint point) override {
-    return --remaining_ == 0;
-  }
-
-  bool fired() const { return remaining_ <= 0; }
-
- private:
-  std::atomic<int> remaining_;
-};
 
 // Executes one litmus program on a coordinator; fills the observation.
 void ExecuteProgram(txn::Coordinator* coord, const LitmusTxn& program,
@@ -211,143 +189,281 @@ bool AuditReplicas(cluster::Cluster* cluster, store::TableId table,
   return true;
 }
 
-}  // namespace
+// Outcome of executing one schedule (one litmus iteration).
+struct IterationResult {
+  int iteration = 0;
+  bool violation = false;
+  std::string explanation;  // set when violation
+  // What actually happened, as a replayable schedule (crash directives
+  // resolved to the precise point/run/occurrence that fired).
+  CrashSchedule executed;
+  // An armed crash directive never fired: the execution diverged from the
+  // profiled path and the schedule proved nothing.
+  bool noop = false;
+  int sync_timeouts = 0;
+  // Crash points visited, per [slot][run], from the recorder hooks.
+  std::vector<std::vector<std::vector<txn::CrashPoint>>> visits;
+};
 
-LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
-  LitmusReport report;
-  report.spec_name = spec.name;
-
-  const uint32_t num_txns = static_cast<uint32_t>(spec.txns.size());
-  const uint32_t compute_nodes = num_txns + 1;  // +1 observer node
-
-  cluster::ClusterConfig cluster_config;
-  cluster_config.memory_nodes = config_.memory_nodes;
-  cluster_config.compute_nodes = compute_nodes;
-  cluster_config.replication = config_.replication;
-  cluster_config.net = config_.net;
-  cluster_config.log.slot_bytes = 512;
-  cluster_config.log.slots_per_coordinator = 8;
-  cluster_config.log.max_coordinators = static_cast<uint32_t>(
-      (config_.iterations + 2) * compute_nodes + 16);
-
-  cluster::Cluster cluster(cluster_config);
-  const store::TableId table = cluster.CreateTable(
-      "litmus", /*value_size=*/8,
-      static_cast<uint64_t>(config_.iterations + 1) * kVarStride);
-
-  // Preload every iteration's copy of the initialized variables.
-  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
-    for (Var v = 0; v < spec.initial.size(); ++v) {
-      if (!spec.initial[v].has_value()) continue;
-      char buf[8];
-      EncodeFixed64(buf, *spec.initial[v]);
-      PANDORA_CHECK(
-          cluster.LoadRow(table, VarKey(iteration, v), Slice(buf, 8)).ok());
-    }
-  }
-
+// Per-spec deployment: one simulated DKVS shared by every iteration of
+// every schedule (including minimizer replays, which consume fresh
+// iteration indices so they never collide with recorded state).
+struct SpecRun {
+  const HarnessConfig& config;
+  const LitmusSpec& spec;
+  const uint32_t num_txns;
+  const uint32_t compute_nodes;
+  const int runs;
+  const int max_iterations;
+  cluster::Cluster cluster;
+  store::TableId table = 0;
   txn::SystemGate gate;
-  recovery::RecoveryManagerConfig rm_config;
-  rm_config.mode = config_.txn.mode;
-  rm_config.fd = config_.fd;
-  recovery::RecoveryManager manager(&cluster, rm_config, &gate);
-  manager.Start();
+  std::unique_ptr<recovery::RecoveryManager> manager;
+  LitmusSpec expanded;
+  std::unique_ptr<SerializabilityChecker> checker;
+  int next_iteration = 0;
 
-  Random rng(config_.seed);
-
-  // The checker sees one logical transaction per *run*: expand the spec.
-  const int runs = std::max(1, config_.runs_per_txn);
-  LitmusSpec expanded = spec;
-  expanded.txns.clear();
-  for (int r = 0; r < runs; ++r) {
-    for (const LitmusTxn& txn : spec.txns) {
-      LitmusTxn copy = txn;
-      copy.name = txn.name + "#" + std::to_string(r + 1);
-      expanded.txns.push_back(std::move(copy));
-    }
+  static cluster::ClusterConfig MakeClusterConfig(
+      const HarnessConfig& config, uint32_t compute_nodes,
+      int max_iterations) {
+    cluster::ClusterConfig cluster_config;
+    cluster_config.memory_nodes = config.memory_nodes;
+    cluster_config.compute_nodes = compute_nodes;
+    cluster_config.replication = config.replication;
+    cluster_config.net = config.net;
+    cluster_config.log.slot_bytes = 512;
+    cluster_config.log.slots_per_coordinator = 8;
+    cluster_config.log.max_coordinators = static_cast<uint32_t>(
+        (max_iterations + 2) * compute_nodes + 16);
+    return cluster_config;
   }
-  const SerializabilityChecker checker(expanded);
 
-  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
-    // Fresh coordinators (fresh ids) per iteration; txn i runs on compute
-    // node i, the observer on the last node.
-    std::vector<std::unique_ptr<txn::Coordinator>> coords;
-    NeverCrash no_crash;
-    for (uint32_t t = 0; t < num_txns; ++t) {
-      std::vector<uint16_t> ids;
-      PANDORA_CHECK(
-          manager.RegisterComputeNode(cluster.compute(t), 1, &ids).ok());
-      coords.push_back(std::make_unique<txn::Coordinator>(
-          &cluster, cluster.compute(t), ids[0], config_.txn, &gate));
-      coords.back()->set_crash_hook(&no_crash);
-    }
+  SpecRun(const HarnessConfig& config_in, const LitmusSpec& spec_in)
+      : config(config_in),
+        spec(spec_in),
+        num_txns(static_cast<uint32_t>(spec_in.txns.size())),
+        compute_nodes(num_txns + 1),  // +1 observer node
+        runs(std::max(1, config_in.runs_per_txn)),
+        // Iteration budget plus minimizer replays (at most 10 reported
+        // violations are shrunk) plus slack.
+        max_iterations(config_in.iterations +
+                       10 * (std::max(0, config_in.minimize_budget) + 1) +
+                       8),
+        cluster(MakeClusterConfig(config_in, num_txns + 1,
+                                  max_iterations)) {
+    table = cluster.CreateTable(
+        "litmus", /*value_size=*/8,
+        static_cast<uint64_t>(max_iterations + 1) * kVarStride);
 
-    // Crash plan.
-    int victim = -1;
-    uint64_t recoveries_before = 0;
-    std::unique_ptr<CrashAtOccurrence> hook;
-    if (config_.crash_percent > 0 &&
-        rng.PercentTrue(config_.crash_percent)) {
-      victim = static_cast<int>(rng.Uniform(num_txns));
-      recoveries_before =
-          manager.recovery_count(cluster.compute_node_id(victim));
-      hook = std::make_unique<CrashAtOccurrence>(
-          static_cast<int>(1 + rng.Uniform(14)));
-      coords[victim]->set_crash_hook(hook.get());
-    }
+    recovery::RecoveryManagerConfig rm_config;
+    rm_config.mode = config.txn.mode;
+    rm_config.fd = config.fd;
+    manager =
+        std::make_unique<recovery::RecoveryManager>(&cluster, rm_config,
+                                                    &gate);
+    manager->Start();
 
-    // Run the spec's transactions concurrently; each thread repeats its
-    // program `runs` times. Observation order matches the expanded spec:
-    // run-major (run r of txn t sits at index r * num_txns + t).
-    std::vector<TxnObservation> observations(
-        static_cast<size_t>(runs) * num_txns);
-    std::vector<std::thread> threads;
-    std::atomic<bool> go{false};
-    for (uint32_t t = 0; t < num_txns; ++t) {
-      threads.emplace_back([&, t] {
-        // Start barrier: release every transaction at once so short
-        // programs actually overlap (racy interleavings are the whole
-        // point of a litmus test).
-        while (!go.load(std::memory_order_acquire)) {
-          std::this_thread::yield();
-        }
-        for (int r = 0; r < runs; ++r) {
-          ExecuteProgram(coords[t].get(), spec.txns[t], iteration, table,
-                         &observations[static_cast<size_t>(r) * num_txns +
-                                       t]);
-        }
-      });
-    }
-    go.store(true, std::memory_order_release);
-    for (auto& thread : threads) thread.join();
-
-    const bool crashed =
-        victim >= 0 &&
-        cluster.fabric().IsHalted(cluster.compute_node_id(victim));
-    if (crashed) {
-      report.crashes_injected++;
-      if (!manager.WaitForComputeRecovery(cluster.compute_node_id(victim),
-                                          5'000'000, recoveries_before)) {
-        report.violations++;
-        report.failures.push_back("iteration " +
-                                  std::to_string(iteration) +
-                                  ": recovery never completed");
-        cluster.RestartComputeNode(cluster.compute_node_id(victim));
-        continue;
+    // The checker sees one logical transaction per *run*: expand the
+    // spec. Observation order is run-major (run r of txn t sits at index
+    // r * num_txns + t).
+    expanded = spec;
+    expanded.txns.clear();
+    for (int r = 0; r < runs; ++r) {
+      for (const LitmusTxn& txn : spec.txns) {
+        LitmusTxn copy = txn;
+        copy.name = txn.name + "#" + std::to_string(r + 1);
+        expanded.txns.push_back(std::move(copy));
       }
     }
+    checker = std::make_unique<SerializabilityChecker>(expanded);
+  }
 
+  ~SpecRun() { manager->Stop(); }
+
+  // Executes `schedule` as one litmus iteration against fresh keys. With
+  // `record` set, aggregate counters (iterations, outcomes, coverage,
+  // bug_injections) accumulate into `report`; minimizer probes pass
+  // record=false so they do not distort the run's statistics.
+  void RunIteration(const CrashSchedule& schedule, LitmusReport* report,
+                    bool record, IterationResult* out);
+};
+
+void SpecRun::RunIteration(const CrashSchedule& schedule,
+                           LitmusReport* report, bool record,
+                           IterationResult* out) {
+  PANDORA_CHECK(next_iteration < max_iterations);
+  const int iteration = next_iteration++;
+  out->iteration = iteration;
+  out->executed.sync = schedule.sync;
+
+  // Lazily preload this iteration's copy of the initialized variables.
+  for (Var v = 0; v < spec.initial.size(); ++v) {
+    if (!spec.initial[v].has_value()) continue;
+    char buf[8];
+    EncodeFixed64(buf, *spec.initial[v]);
+    PANDORA_CHECK(
+        cluster.LoadRow(table, VarKey(iteration, v), Slice(buf, 8)).ok());
+  }
+
+  // Fresh coordinators (fresh ids) per iteration; txn t runs on compute
+  // node t, the observer on the last node. Installing a (never-firing
+  // unless armed) recorder hook on every coordinator also forces the
+  // litmus-grade sequential (per-replica) apply/unlock paths, maximizing
+  // the interleavings a litmus test can observe.
+  LockstepController lockstep(static_cast<int>(num_txns));
+  std::vector<std::unique_ptr<txn::Coordinator>> coords;
+  std::vector<std::unique_ptr<txn::ScheduleRecorderHook>> hooks;
+  std::vector<uint64_t> recoveries_before(num_txns, 0);
+  for (uint32_t t = 0; t < num_txns; ++t) {
+    std::vector<uint16_t> ids;
+    PANDORA_CHECK(
+        manager->RegisterComputeNode(cluster.compute(t), 1, &ids).ok());
+    coords.push_back(std::make_unique<txn::Coordinator>(
+        &cluster, cluster.compute(t), ids[0], config.txn, &gate));
+    hooks.push_back(std::make_unique<txn::ScheduleRecorderHook>());
+    if (schedule.sync == SyncMode::kLockstep) {
+      hooks.back()->set_point_observer(
+          [&lockstep](txn::CrashPoint, int, int) { lockstep.Arrive(); });
+    }
+    coords.back()->set_crash_hook(hooks.back().get());
+    recoveries_before[t] =
+        manager->recovery_count(cluster.compute_node_id(t));
+  }
+  for (const CrashDirective& crash : schedule.crashes) {
+    if (crash.slot < 0 || crash.slot >= static_cast<int>(num_txns)) {
+      continue;
+    }
+    if (crash.any_point) {
+      hooks[crash.slot]->ArmCrashAtGlobalOccurrence(
+          crash.global_occurrence);
+    } else {
+      hooks[crash.slot]->ArmCrashAt(crash.run, crash.point,
+                                    crash.occurrence);
+    }
+  }
+
+  // Compound: a one-shot recovery-coordinator death; the manager restarts
+  // the RC and re-runs recovery (idempotent, §3.2.3).
+  std::atomic<int> rc_deaths{0};
+  if (schedule.rc_fault) {
+    manager->rc().set_step_fault_hook(
+        [&rc_deaths] { return rc_deaths.fetch_add(1) == 0; });
+  }
+
+  // Run the spec's transactions concurrently; each thread repeats its
+  // program `runs` times.
+  std::vector<TxnObservation> observations(
+      static_cast<size_t>(runs) * num_txns);
+  std::vector<std::thread> threads;
+  std::atomic<bool> go{false};
+  for (uint32_t t = 0; t < num_txns; ++t) {
+    threads.emplace_back([&, t] {
+      // Start barrier: release every transaction at once so short
+      // programs actually overlap (racy interleavings are the whole
+      // point of a litmus test).
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      bool retired = false;
+      for (int r = 0; r < runs; ++r) {
+        if (hooks[t] != nullptr) hooks[t]->BeginRun(r);
+        ExecuteProgram(coords[t].get(), spec.txns[t], iteration, table,
+                       &observations[static_cast<size_t>(r) * num_txns +
+                                     t]);
+        if (!retired && hooks[t] != nullptr && hooks[t]->fired()) {
+          // Crashed: leave the rendezvous so live peers stop waiting.
+          lockstep.Retire();
+          retired = true;
+        }
+      }
+      if (!retired) lockstep.Retire();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  out->sync_timeouts = lockstep.timeouts();
+
+  // Harvest the recorders: visited-point traces, resolved crashes,
+  // injection no-ops.
+  out->visits.resize(num_txns);
+  bool any_fired = false;
+  for (uint32_t t = 0; t < num_txns; ++t) {
+    if (hooks[t] == nullptr) continue;
+    const txn::ScheduleRecorderHook& hook = *hooks[t];
+    auto& slot_visits = out->visits[t];
+    slot_visits.resize(static_cast<size_t>(hook.runs_recorded()));
+    for (int r = 0; r < hook.runs_recorded(); ++r) {
+      slot_visits[static_cast<size_t>(r)] = hook.visited(r);
+      if (record) {
+        for (const txn::CrashPoint point : hook.visited(r)) {
+          report->point_visits[static_cast<int>(point)]++;
+        }
+      }
+    }
+    if (hook.armed()) {
+      if (hook.fired()) {
+        any_fired = true;
+        CrashDirective resolved;
+        resolved.slot = static_cast<int>(t);
+        resolved.run = hook.fired_run();
+        resolved.point = hook.fired_point();
+        resolved.occurrence = hook.fired_occurrence();
+        out->executed.crashes.push_back(resolved);
+        if (record) {
+          report->crashes_injected++;
+          report->point_crashes[static_cast<int>(hook.fired_point())]++;
+        }
+      } else {
+        out->noop = true;
+      }
+    }
+  }
+
+  // Compound: fail a memory node right after the coordinator crash, so
+  // recovery must run against a degraded replica set (§3.2.5).
+  rdma::NodeId killed_memory_node = rdma::kInvalidNodeId;
+  if (schedule.kill_memory_node >= 0 && any_fired) {
+    const uint32_t index = static_cast<uint32_t>(schedule.kill_memory_node) %
+                           config.memory_nodes;
+    killed_memory_node = cluster.memory_node_id(index);
+    cluster.CrashMemoryNode(killed_memory_node);
+    manager->RecoverMemoryFailure(killed_memory_node);
+    out->executed.kill_memory_node = static_cast<int>(index);
+    if (record) report->memory_kills_injected++;
+  }
+
+  // Wait for detection + recovery of every crashed slot before observing.
+  bool recovery_timed_out = false;
+  for (uint32_t t = 0; t < num_txns && !recovery_timed_out; ++t) {
+    if (hooks[t] == nullptr || !hooks[t]->fired()) continue;
+    if (!manager->WaitForComputeRecovery(cluster.compute_node_id(t),
+                                         5'000'000,
+                                         recoveries_before[t])) {
+      out->violation = true;
+      out->explanation = "recovery never completed";
+      recovery_timed_out = true;
+    }
+  }
+  if (schedule.rc_fault) {
+    manager->rc().set_step_fault_hook(nullptr);
+    if (rc_deaths.load(std::memory_order_acquire) > 0) {
+      out->executed.rc_fault = true;
+      if (record) report->rc_faults_injected++;
+    }
+  }
+
+  if (!recovery_timed_out) {
     // Observe the final application state from the observer node.
     VarState final_state(spec.initial.size());
     bool observed = false;
     std::vector<uint16_t> observer_ids;
     PANDORA_CHECK(manager
-                      .RegisterComputeNode(
+                      ->RegisterComputeNode(
                           cluster.compute(compute_nodes - 1), 1,
                           &observer_ids)
                       .ok());
     txn::Coordinator reader(&cluster, cluster.compute(compute_nodes - 1),
-                            observer_ids[0], config_.txn, &gate);
+                            observer_ids[0], config.txn, &gate);
     std::string observe_error;
     for (int attempt = 0; attempt < 10 && !observed; ++attempt) {
       const Status begin_status = reader.Begin();
@@ -391,70 +507,254 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
       if (observe_error.find("PermissionDenied") != std::string::npos) {
         // The observer was repeatedly fenced (false positives under CPU
         // pressure); no verdict about the protocol is possible.
-        report.inconclusive++;
+        if (record) report->inconclusive++;
       } else {
-        report.violations++;
-        if (report.failures.size() < 10) {
-          report.failures.push_back(
-              "iteration " + std::to_string(iteration) +
-              ": final state unreadable (" + observe_error + ")");
-        }
+        out->violation = true;
+        out->explanation =
+            "final state unreadable (" + observe_error + ")";
       }
     } else {
       std::string explanation;
-      if (!checker.Check(observations, final_state, &explanation)) {
-        report.violations++;
-        if (report.failures.size() < 10) {
-          report.failures.push_back("iteration " +
-                                    std::to_string(iteration) + ": " +
-                                    explanation);
+      if (!checker->Check(observations, final_state, &explanation)) {
+        out->violation = true;
+        out->explanation = explanation;
+      }
+    }
+
+    if (record) {
+      for (const TxnObservation& obs : observations) {
+        switch (obs.outcome) {
+          case TxnObservation::Outcome::kCommitted:
+            report->committed++;
+            break;
+          case TxnObservation::Outcome::kAborted:
+            report->aborted++;
+            break;
+          case TxnObservation::Outcome::kUnknown:
+            report->unknown++;
+            break;
         }
       }
     }
-
-    for (const TxnObservation& obs : observations) {
-      switch (obs.outcome) {
-        case TxnObservation::Outcome::kCommitted:
-          report.committed++;
-          break;
-        case TxnObservation::Outcome::kAborted:
-          report.aborted++;
-          break;
-        case TxnObservation::Outcome::kUnknown:
-          report.unknown++;
-          break;
-      }
-    }
-
-    // End of iteration: wait for any in-flight (possibly false-positive)
-    // recoveries, then restore every compute node's links so the next
-    // iteration starts from a healthy membership. Restoring only after
-    // recoveries completed preserves Cor1.
-    {
-      const uint64_t deadline = NowMicros() + 5'000'000;
-      while (manager.pending_recoveries() > 0 && NowMicros() < deadline) {
-        SleepForMicros(200);
-      }
-    }
-    for (uint32_t n = 0; n < compute_nodes; ++n) {
-      cluster.RestartComputeNode(cluster.compute_node_id(n));
-    }
-
-    // Memory-level invariants: replicas must agree, locks must be free or
-    // stray.
-    std::string audit_error;
-    if (!AuditReplicas(&cluster, table, iteration, spec.initial.size(),
-                       manager.fd().failed_ids(), &audit_error)) {
-      report.violations++;
-      if (report.failures.size() < 10) {
-        report.failures.push_back("iteration " + std::to_string(iteration) +
-                                  ": " + audit_error);
-      }
-    }
-    report.iterations++;
   }
 
-  manager.Stop();
+  if (record) {
+    for (uint32_t t = 0; t < num_txns; ++t) {
+      report->bug_injections += coords[t]->stats().bug_injections;
+    }
+  }
+
+  // End of iteration: wait for any in-flight (possibly false-positive)
+  // recoveries, then restore every compute node's links and rebuild a
+  // killed memory node, so the next iteration starts from a healthy
+  // membership. Restoring only after recoveries completed preserves Cor1.
+  {
+    const uint64_t deadline = NowMicros() + 5'000'000;
+    while (manager->pending_recoveries() > 0 && NowMicros() < deadline) {
+      SleepForMicros(200);
+    }
+  }
+  for (uint32_t n = 0; n < compute_nodes; ++n) {
+    cluster.RestartComputeNode(cluster.compute_node_id(n));
+  }
+  if (killed_memory_node != rdma::kInvalidNodeId) {
+    const Status status = manager->ReplaceMemoryNode(killed_memory_node);
+    if (!status.ok()) {
+      PANDORA_LOG(kError) << "litmus: memory node re-replication failed: "
+                          << status.ToString();
+    }
+  }
+
+  // Memory-level invariants: replicas must agree, locks must be free or
+  // stray. Skipped when recovery already timed out (the iteration is
+  // already a violation and memory may legitimately hold stray locks).
+  if (!recovery_timed_out && !out->violation) {
+    std::string audit_error;
+    if (!AuditReplicas(&cluster, table, iteration, spec.initial.size(),
+                       manager->fd().failed_ids(), &audit_error)) {
+      out->violation = true;
+      out->explanation = audit_error;
+    }
+  }
+
+  if (record) report->iterations++;
+}
+
+}  // namespace
+
+std::string LitmusReport::CoverageSummary() const {
+  std::string out;
+  for (int p = 0; p < txn::kNumCrashPoints; ++p) {
+    if (point_visits[p] == 0 && point_crashes[p] == 0) continue;
+    if (!out.empty()) out += "\n";
+    out += std::string(txn::CrashPointName(
+               static_cast<txn::CrashPoint>(p))) +
+           ": " + std::to_string(point_visits[p]) + " visits, " +
+           std::to_string(point_crashes[p]) + " crashes";
+  }
+  return out;
+}
+
+LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
+  LitmusReport report;
+  report.spec_name = spec.name;
+
+  SpecRun run(config_, spec);
+
+  // Delta-debugging: greedily drop schedule components (memory kill, RC
+  // fault, individual crash directives), keeping a candidate only when
+  // the reduced schedule still reproduces a violation, then replay the
+  // final schedule once to confirm determinism.
+  auto minimize = [&](const IterationResult& result) -> std::string {
+    if (config_.minimize_budget <= 0) return "";
+    CrashSchedule best = result.executed;
+    int budget = config_.minimize_budget;
+    auto reproduces = [&](const CrashSchedule& candidate) {
+      if (budget <= 0) return false;
+      --budget;
+      IterationResult probe;
+      run.RunIteration(candidate, &report, /*record=*/false, &probe);
+      return probe.violation;
+    };
+    if (best.kill_memory_node >= 0) {
+      CrashSchedule candidate = best;
+      candidate.kill_memory_node = -1;
+      if (reproduces(candidate)) best = candidate;
+    }
+    if (best.rc_fault) {
+      CrashSchedule candidate = best;
+      candidate.rc_fault = false;
+      if (reproduces(candidate)) best = candidate;
+    }
+    for (size_t i = best.crashes.size(); i-- > 0;) {
+      CrashSchedule candidate = best;
+      candidate.crashes.erase(candidate.crashes.begin() +
+                              static_cast<long>(i));
+      if (reproduces(candidate)) best = candidate;
+    }
+    const bool confirmed = reproduces(best);
+    return " | minimal repro: spec=" + spec.name +
+           " seed=" + std::to_string(config_.seed) + " schedule={" +
+           best.ToString() + "}" +
+           (confirmed ? " (replay-confirmed)"
+                      : " (not re-confirmed; may be timing-dependent)");
+  };
+
+  auto execute = [&](const CrashSchedule& schedule) {
+    IterationResult result;
+    run.RunIteration(schedule, &report, /*record=*/true, &result);
+    if (result.noop) report.schedule_noops++;
+    report.sync_timeouts += result.sync_timeouts;
+    if (result.violation) {
+      report.violations++;
+      report.violation_traces.push_back(result.executed.ToString());
+      report.violation_explanations.push_back(result.explanation);
+      if (report.failures.size() < 10) {
+        report.failures.push_back(
+            "iteration " + std::to_string(result.iteration) + ": " +
+            result.explanation + minimize(result));
+      }
+    }
+    return result;
+  };
+  auto should_stop = [&] {
+    return config_.stop_after_violations > 0 &&
+           report.violations >= config_.stop_after_violations;
+  };
+
+  switch (config_.schedule) {
+    case SchedulePolicy::kRandom: {
+      Random rng(config_.seed);
+      for (int i = 0; i < config_.iterations && !should_stop(); ++i) {
+        CrashSchedule schedule;  // free-running, maybe one random crash
+        if (config_.crash_percent > 0 &&
+            rng.PercentTrue(config_.crash_percent)) {
+          CrashDirective crash;
+          crash.slot = static_cast<int>(rng.Uniform(run.num_txns));
+          crash.any_point = true;
+          crash.global_occurrence = static_cast<int>(1 + rng.Uniform(14));
+          schedule.crashes.push_back(crash);
+        }
+        report.schedules_planned++;
+        execute(schedule);
+      }
+      break;
+    }
+    case SchedulePolicy::kExhaustive: {
+      // Profiling iteration: lockstep, no crash. Records the reachable
+      // (slot, run, point, occurrence) tuples that bound the enumeration
+      // — and doubles as the no-crash litmus check (lockstep alone
+      // surfaces ordering bugs like covert/relaxed locks).
+      CrashSchedule profile_schedule;
+      profile_schedule.sync = SyncMode::kLockstep;
+      report.schedules_planned++;
+      const IterationResult profile = execute(profile_schedule);
+
+      std::vector<CrashSchedule> worklist;
+      for (uint32_t t = 0; t < run.num_txns; ++t) {
+        if (t >= profile.visits.size()) break;
+        for (size_t r = 0; r < profile.visits[t].size(); ++r) {
+          std::vector<int> counts(txn::kNumCrashPoints, 0);
+          for (const txn::CrashPoint point : profile.visits[t][r]) {
+            counts[static_cast<int>(point)]++;
+          }
+          for (int p = 0; p < txn::kNumCrashPoints; ++p) {
+            for (int occ = 1; occ <= counts[p]; ++occ) {
+              CrashSchedule schedule;
+              schedule.sync = SyncMode::kLockstep;
+              CrashDirective crash;
+              crash.slot = static_cast<int>(t);
+              crash.run = static_cast<int>(r);
+              crash.point = static_cast<txn::CrashPoint>(p);
+              crash.occurrence = occ;
+              schedule.crashes.push_back(crash);
+              worklist.push_back(schedule);
+              if (config_.compound_rc_fault) {
+                CrashSchedule compound = schedule;
+                compound.rc_fault = true;
+                worklist.push_back(compound);
+              }
+              if (config_.compound_memory_kill) {
+                CrashSchedule compound = schedule;
+                compound.kill_memory_node = static_cast<int>(
+                    worklist.size() % config_.memory_nodes);
+                worklist.push_back(compound);
+              }
+            }
+          }
+        }
+      }
+      report.schedules_planned += static_cast<int>(worklist.size());
+
+      int budget = config_.iterations - 1;  // profiling consumed one
+      for (size_t i = 0; i < worklist.size() && !should_stop(); ++i) {
+        if (budget-- <= 0) {
+          report.schedules_skipped =
+              static_cast<int>(worklist.size() - i);
+          PANDORA_LOG(kWarning)
+              << "litmus: schedule enumeration truncated, "
+              << report.schedules_skipped << " of " << worklist.size()
+              << " schedules skipped (raise HarnessConfig::iterations)";
+          break;
+        }
+        execute(worklist[i]);
+      }
+      break;
+    }
+    case SchedulePolicy::kReplay: {
+      report.schedules_planned++;
+      execute(config_.replay);
+      break;
+    }
+  }
+
+  // A clean run with enabled-but-unexercised bug flags proves nothing:
+  // fail loudly instead of reporting a false pass.
+  if (config_.txn.bugs.AnySet() && report.bug_injections == 0) {
+    report.harness_error =
+        "bug flags enabled but never exercised (injection no-op)";
+  }
+
   return report;
 }
 

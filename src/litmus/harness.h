@@ -8,6 +8,7 @@
 
 #include "litmus/checker.h"
 #include "litmus/litmus_spec.h"
+#include "litmus/schedule.h"
 #include "rdma/network_model.h"
 #include "recovery/recovery_manager.h"
 #include "txn/txn_config.h"
@@ -19,14 +20,15 @@ namespace litmus {
 /// validate, and how hard to shake it.
 struct HarnessConfig {
   txn::TxnConfig txn;
-  /// Iterations per litmus spec. Each iteration runs the spec's
+  /// Iteration budget per litmus spec. Each iteration runs the spec's
   /// transactions concurrently on separate compute servers against fresh
-  /// keys.
+  /// keys. Under kExhaustive this caps the number of enumerated schedules
+  /// (profiling iteration included).
   int iterations = 100;
   uint64_t seed = 1;
-  /// Probability (percent) that an iteration crashes one transaction's
-  /// compute server at a random protocol point (§5 "we randomly inject
-  /// crashes after any operation").
+  /// kRandom only: probability (percent) that an iteration crashes one
+  /// transaction's compute server at a random protocol point (§5 "we
+  /// randomly inject crashes after any operation").
   uint32_t crash_percent = 60;
   /// Each transaction slot executes its program this many times in
   /// sequence per iteration. Repeat runs widen the window for bugs whose
@@ -39,6 +41,23 @@ struct HarnessConfig {
   rdma::NetworkConfig net;  // Zero-latency by default: litmus tests
                             // exercise semantics, not timing.
   recovery::FdConfig fd;
+
+  /// How crash schedules are chosen (see SchedulePolicy).
+  SchedulePolicy schedule = SchedulePolicy::kRandom;
+  /// kReplay: the schedule to re-execute, exactly once.
+  CrashSchedule replay;
+  /// Stop the run once this many violations were found (0 = never stop
+  /// early). Bug-hunt tests set 1: a single confirmed violation proves the
+  /// bug is caught.
+  int stop_after_violations = 0;
+  /// kExhaustive: additionally enumerate compound schedules chaining each
+  /// coordinator crash with a recovery-coordinator death mid-recovery...
+  bool compound_rc_fault = false;
+  /// ...and with a memory-node failure after the coordinator crash.
+  bool compound_memory_kill = false;
+  /// Replay budget of the delta-debugging minimizer that shrinks a
+  /// violating schedule to a minimal reproducer (0 disables shrinking).
+  int minimize_budget = 12;
 };
 
 /// Result of running one litmus spec.
@@ -55,17 +74,54 @@ struct LitmusReport {
   int committed = 0;
   int aborted = 0;
   int unknown = 0;
-  /// First few violation explanations, for diagnosis.
+  /// First few violation explanations (with minimal reproducers), for
+  /// diagnosis.
   std::vector<std::string> failures;
 
-  bool passed() const { return violations == 0; }
+  /// Schedules the exploration planned (kExhaustive) or sampled (kRandom).
+  int schedules_planned = 0;
+  /// Planned schedules whose enumeration overflowed the iteration budget.
+  int schedules_skipped = 0;
+  /// Iterations where an armed crash directive never fired (the profiled
+  /// execution diverged); the schedule proved nothing.
+  int schedule_noops = 0;
+  /// Lockstep rendezvous phases broken by the timed fallback.
+  int sync_timeouts = 0;
+  /// Recovery-coordinator deaths injected by compound schedules.
+  int rc_faults_injected = 0;
+  /// Memory-node failures injected by compound schedules.
+  int memory_kills_injected = 0;
+  /// Sum of TxnStats::bug_injections over all litmus coordinators: how
+  /// often the enabled BugFlags actually deviated from the fixed protocol.
+  uint64_t bug_injections = 0;
+  /// Set when the harness itself is unsound for this configuration — e.g.
+  /// bug flags were enabled but never exercised (injection no-op), so a
+  /// clean run proves nothing.
+  std::string harness_error;
+  /// Replayable executed schedule of each violating iteration, parseable
+  /// by CrashSchedule::Parse (aligned with `violation_explanations`).
+  std::vector<std::string> violation_traces;
+  /// Checker/audit explanation of each violation, without the iteration
+  /// prefix (stable across replays of the same schedule).
+  std::vector<std::string> violation_explanations;
+  /// Per crash point: times visited / times a scheduled crash fired there
+  /// (indexed by CrashPoint).
+  std::vector<int> point_visits = std::vector<int>(txn::kNumCrashPoints, 0);
+  std::vector<int> point_crashes =
+      std::vector<int>(txn::kNumCrashPoints, 0);
+
+  /// One line per visited crash point: "name visits/crashes".
+  std::string CoverageSummary() const;
+
+  bool passed() const { return violations == 0 && harness_error.empty(); }
 };
 
 /// End-to-end litmus executor: deploys a fresh simulated DKVS per spec,
-/// runs the spec's transactions concurrently with randomized crash
-/// injection, drives detection + recovery, reads the application-
+/// runs the spec's transactions concurrently under a crash-schedule policy
+/// (randomized sampling, exhaustive lockstep enumeration, or replay of a
+/// recorded trace), drives detection + recovery, reads the application-
 /// observable final state, and validates it with the subset-serializability
-/// checker.
+/// checker. Violating iterations are shrunk to minimal reproducers.
 class LitmusHarness {
  public:
   explicit LitmusHarness(const HarnessConfig& config) : config_(config) {}

@@ -225,11 +225,25 @@ LitmusSpec RandomLitmusSpec(uint64_t seed) {
   return spec;
 }
 
+LitmusSpec LitmusSingle() {
+  // One uncontended transaction: reads Y, writes X. Not a race test — it
+  // exists so the schedule explorer can enumerate a crash at every
+  // reachable protocol point of a solo commit (execution, logging,
+  // validation, apply, unlock) and prove recovery handles each one.
+  LitmusSpec spec;
+  spec.name = "litmus-single";
+  spec.checks = "solo-commit crash-point coverage";
+  spec.initial = {0, 0};
+  LitmusTxn t1{"T1", {LitmusOp::Load(0, kY), LitmusOp::StoreConst(kX, 1)}};
+  spec.txns = {t1};
+  return spec;
+}
+
 std::vector<LitmusSpec> AllLitmusSpecs() {
   return {Litmus1(),           Litmus1Inserts(), Litmus1Deletes(),
           Litmus2(),           Litmus3(),        Litmus3AbortLogging(),
           Litmus1PartialOverlap(),               Litmus1LockRelease(),
-          CompoundLitmus()};
+          CompoundLitmus(),                      LitmusSingle()};
 }
 
 }  // namespace litmus

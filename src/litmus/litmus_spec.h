@@ -92,6 +92,7 @@ LitmusSpec Litmus3AbortLogging();  // aborted-but-logged txns (C2 bugs)
 LitmusSpec Litmus1PartialOverlap();  // log-without-lock corner case
 LitmusSpec Litmus1LockRelease();     // complicit-abort corner case
 LitmusSpec CompoundLitmus();   // stretched/combined variant (§5 "Compound")
+LitmusSpec LitmusSingle();     // one solo txn: crash-point coverage probe
 
 /// All of the above.
 std::vector<LitmusSpec> AllLitmusSpecs();

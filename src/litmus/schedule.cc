@@ -1,0 +1,136 @@
+#include "litmus/schedule.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+namespace pandora {
+namespace litmus {
+
+namespace {
+
+const char* SyncModeName(SyncMode sync) {
+  return sync == SyncMode::kLockstep ? "lockstep" : "free";
+}
+
+// strtol wrapper: full-string decimal parse, no exceptions.
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string CrashSchedule::ToString() const {
+  std::ostringstream out;
+  out << "sync=" << SyncModeName(sync);
+  for (const CrashDirective& crash : crashes) {
+    out << " crash=" << crash.slot << ":" << crash.run << ":";
+    if (crash.any_point) {
+      out << "any:" << crash.global_occurrence;
+    } else {
+      out << txn::CrashPointName(crash.point) << ":" << crash.occurrence;
+    }
+  }
+  if (rc_fault) out << " rc_fault=1";
+  if (kill_memory_node >= 0) out << " kill_mem=" << kill_memory_node;
+  return out.str();
+}
+
+bool CrashSchedule::Parse(const std::string& text, CrashSchedule* out) {
+  CrashSchedule parsed;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "sync") {
+      if (value == "lockstep") {
+        parsed.sync = SyncMode::kLockstep;
+      } else if (value == "free") {
+        parsed.sync = SyncMode::kFree;
+      } else {
+        return false;
+      }
+    } else if (key == "crash") {
+      // slot:run:point:occurrence
+      std::istringstream fields(value);
+      std::string slot_s, run_s, point_s, occ_s;
+      if (!std::getline(fields, slot_s, ':') ||
+          !std::getline(fields, run_s, ':') ||
+          !std::getline(fields, point_s, ':') ||
+          !std::getline(fields, occ_s)) {
+        return false;
+      }
+      CrashDirective crash;
+      if (!ParseInt(slot_s, &crash.slot) || !ParseInt(run_s, &crash.run)) {
+        return false;
+      }
+      if (point_s == "any") {
+        crash.any_point = true;
+        if (!ParseInt(occ_s, &crash.global_occurrence)) return false;
+      } else {
+        if (!txn::CrashPointFromName(point_s, &crash.point)) return false;
+        if (!ParseInt(occ_s, &crash.occurrence)) return false;
+      }
+      parsed.crashes.push_back(crash);
+    } else if (key == "rc_fault") {
+      parsed.rc_fault = (value == "1");
+    } else if (key == "kill_mem") {
+      if (!ParseInt(value, &parsed.kill_memory_node)) return false;
+    } else {
+      return false;
+    }
+  }
+  *out = parsed;
+  return true;
+}
+
+bool LockstepController::Arrive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (active_ <= 1) return true;  // Nobody to rendezvous with.
+  const uint64_t my_phase = phase_;
+  ++waiting_;
+  if (waiting_ >= active_) {
+    waiting_ = 0;
+    ++phase_;
+    cv_.notify_all();
+    return true;
+  }
+  const bool released = cv_.wait_for(
+      lock, std::chrono::microseconds(timeout_us_),
+      [&] { return phase_ != my_phase; });
+  if (!released) {
+    // A peer is blocked outside a crash point (gate, stall). Break the
+    // barrier for everyone so the iteration keeps making progress.
+    ++timeouts_;
+    waiting_ = 0;
+    ++phase_;
+    cv_.notify_all();
+  }
+  return released;
+}
+
+void LockstepController::Retire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) --active_;
+  if (active_ > 0 && waiting_ >= active_) {
+    waiting_ = 0;
+    ++phase_;
+  }
+  cv_.notify_all();
+}
+
+int LockstepController::timeouts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timeouts_;
+}
+
+}  // namespace litmus
+}  // namespace pandora

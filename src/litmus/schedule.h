@@ -1,0 +1,112 @@
+#ifndef PANDORA_LITMUS_SCHEDULE_H_
+#define PANDORA_LITMUS_SCHEDULE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "txn/crash_hook.h"
+
+namespace pandora {
+namespace litmus {
+
+/// How the harness chooses crash schedules.
+enum class SchedulePolicy {
+  /// Legacy sampler: each iteration crashes one random transaction at a
+  /// random global crash-point occurrence with probability crash_percent.
+  kRandom,
+  /// Bounded model checking: a lockstep profiling iteration records every
+  /// reachable (slot, run, point, occurrence) tuple, then one schedule per
+  /// tuple is executed — optionally chained with a recovery-coordinator
+  /// death or a memory-node failure (compound schedules).
+  kExhaustive,
+  /// Re-executes exactly one recorded schedule (HarnessConfig::replay).
+  kReplay,
+};
+
+/// How concurrent transaction slots are interleaved within an iteration.
+enum class SyncMode {
+  /// Threads free-run (timing-dependent interleavings).
+  kFree,
+  /// Every transaction rendezvouses at every crash point: all slots reach
+  /// their next protocol step before any proceeds. This deterministically
+  /// produces the maximally-racy interleaving (all lock CASes together,
+  /// all validations before any apply) that random timing only rarely
+  /// hits.
+  kLockstep,
+};
+
+/// One planned coordinator crash.
+struct CrashDirective {
+  int slot = 0;  // transaction slot (thread) to kill
+  int run = 0;   // which repeat of the slot's program
+  txn::CrashPoint point = txn::CrashPoint::kBeforeLock;
+  int occurrence = 1;  // 1-based visit count of `point` within `run`
+  /// Random-policy arming: fire at the Nth point hit overall instead of a
+  /// precise (run, point, occurrence). Resolved to a precise directive in
+  /// the executed trace.
+  bool any_point = false;
+  int global_occurrence = 0;
+};
+
+/// A complete, replayable crash schedule for one litmus iteration.
+struct CrashSchedule {
+  SyncMode sync = SyncMode::kFree;
+  std::vector<CrashDirective> crashes;
+  /// Chain: kill the recovery coordinator once, mid-recovery of the
+  /// crashed transaction's node (it is then restarted and re-runs).
+  bool rc_fault = false;
+  /// Chain: fail this memory node (index, -1 = none) right after the
+  /// coordinator crash, so recovery runs against a degraded replica set.
+  int kill_memory_node = -1;
+
+  bool empty() const {
+    return crashes.empty() && !rc_fault && kill_memory_node < 0;
+  }
+
+  /// Serializes to a single-line replayable trace, e.g.
+  ///   "sync=lockstep crash=0:1:AfterAbort:1 rc_fault=1 kill_mem=2".
+  std::string ToString() const;
+  /// Parses ToString() output. Returns false on malformed input.
+  static bool Parse(const std::string& text, CrashSchedule* out);
+};
+
+/// Rendezvous barrier for SyncMode::kLockstep. Each participant calls
+/// Arrive() from its crash-point observer; the call blocks until every
+/// other active participant is also waiting (or has retired), then the
+/// whole phase is released together. A timed fallback breaks the barrier
+/// when a participant is blocked outside a crash point (recovery gates,
+/// conflict stalls), so lockstep can never deadlock the harness — it only
+/// degrades to free-running for that phase.
+class LockstepController {
+ public:
+  explicit LockstepController(int participants,
+                              uint64_t timeout_us = 250'000)
+      : active_(participants), timeout_us_(timeout_us) {}
+
+  /// Blocks until the current phase is released. Returns false if the
+  /// wait timed out (phase released by fallback).
+  bool Arrive();
+
+  /// The participant will hit no more crash points (program finished or
+  /// coordinator crashed).
+  void Retire();
+
+  int timeouts() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_;
+  int waiting_ = 0;
+  uint64_t phase_ = 0;
+  int timeouts_ = 0;
+  const uint64_t timeout_us_;
+};
+
+}  // namespace litmus
+}  // namespace pandora
+
+#endif  // PANDORA_LITMUS_SCHEDULE_H_

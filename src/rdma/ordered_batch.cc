@@ -44,6 +44,7 @@ size_t OrderedBatch::CompareSwap(RKey rkey, uint64_t offset,
 Status OrderedBatch::Execute(uint64_t extra_rtt_ns) {
   const uint64_t wait_ns =
       max_rtt_ns_ > extra_rtt_ns ? max_rtt_ns_ : extra_rtt_ns;
+  last_wait_ns_ = wait_ns;
   if (wait_ns > 0) SpinForNanos(wait_ns);
   Status result = first_error_;
   first_error_ = Status::OK();

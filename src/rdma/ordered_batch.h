@@ -52,6 +52,11 @@ class OrderedBatch {
 
   size_t size() const { return statuses_.size(); }
 
+  /// Simulated nanoseconds the previous Execute() waited out — one max-RTT
+  /// for the chain (and any rider), never a per-verb sum. Deterministic,
+  /// unlike wall-clock measurements of the spin wait.
+  uint64_t last_wait_ns() const { return last_wait_ns_; }
+
  private:
   size_t Record(const Status& status, uint64_t rtt_ns);
 
@@ -59,6 +64,7 @@ class OrderedBatch {
   std::vector<Status> statuses_;
   Status first_error_;
   uint64_t max_rtt_ns_ = 0;
+  uint64_t last_wait_ns_ = 0;
   bool errored_ = false;
 };
 

@@ -107,6 +107,7 @@ void VerbBatch::CompareSwap(QueuePair* qp, RKey rkey, uint64_t offset,
 }
 
 Status VerbBatch::Execute() {
+  last_wait_ns_ = max_rtt_ns_;
   if (max_rtt_ns_ > 0) SpinForNanos(max_rtt_ns_);
   return Collect();
 }

@@ -105,11 +105,17 @@ class VerbBatch {
 
   size_t size() const { return count_; }
 
+  /// Simulated nanoseconds the previous Execute() waited out — the slowest
+  /// single round trip, never a per-verb sum. Deterministic, unlike
+  /// wall-clock measurements of the spin wait.
+  uint64_t last_wait_ns() const { return last_wait_ns_; }
+
  private:
   void Record(const Status& status, uint64_t rtt_ns);
 
   Status first_error_;
   uint64_t max_rtt_ns_ = 0;
+  uint64_t last_wait_ns_ = 0;
   size_t count_ = 0;
 };
 

@@ -67,7 +67,18 @@ void RecoveryManager::OnFailureDetected(rdma::NodeId node,
   // detection of the next.
   std::lock_guard<std::mutex> lock(mu_);
   recovery_threads_.emplace_back([this, node, ids] {
-    const Status status = RecoverComputeFailure(node, ids);
+    Status status = RecoverComputeFailure(node, ids);
+    // The recovery coordinator itself can die mid-recovery (fault
+    // injection via rc().set_step_fault_hook, or a real RC crash).
+    // Recovery is idempotent (§3.2.3), so a restarted RC simply re-runs
+    // the whole procedure from the top.
+    for (int restart = 0; !status.ok() && restart < 2; ++restart) {
+      rc_restarts_.fetch_add(1, std::memory_order_acq_rel);
+      PANDORA_LOG(kWarning) << "recovery coordinator died recovering node "
+                         << node << " (" << status.ToString()
+                         << "); restarting";
+      status = RecoverComputeFailure(node, ids);
+    }
     if (!status.ok()) {
       PANDORA_LOG(kError) << "recovery of node " << node
                           << " failed: " << status.ToString();

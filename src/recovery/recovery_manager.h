@@ -89,6 +89,13 @@ class RecoveryManager {
            completed_.load(std::memory_order_acquire);
   }
 
+  /// Times an FD-driven recovery attempt died (step_fault_hook or real RC
+  /// failure) and the RC was restarted to re-run it. Litmus compound
+  /// schedules assert the injected RC death actually happened.
+  uint64_t rc_restarts() const {
+    return rc_restarts_.load(std::memory_order_acquire);
+  }
+
   /// Stats of the most recent completed compute recovery.
   RecoveryStats last_recovery_stats() const;
 
@@ -129,6 +136,7 @@ class RecoveryManager {
   std::atomic<uint64_t> last_latency_ns_{0};
   std::atomic<uint64_t> started_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rc_restarts_{0};
   // Serializes compute-failure recovery against memory reconfiguration
   // (joint failures run both protocols, but not interleaved).
   std::mutex recovery_mu_;

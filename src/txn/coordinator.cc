@@ -373,6 +373,7 @@ Status Coordinator::PostPerObjectLog(WriteOp* op, rdma::VerbBatch* batch) {
 Status Coordinator::WritePerObjectLog(WriteOp* op) {
   if (config_.disable_recovery_logging) return Status::OK();
   if (op->is_insert && config_.bugs.missing_insert_logging) {
+    stats_.bug_injections++;
     return Status::OK();  // FORD bug: inserts never logged.
   }
   rdma::VerbBatch batch;
@@ -407,6 +408,7 @@ Status Coordinator::StageWrite(WriteOp op) {
   if (config_.bugs.relaxed_locks) {
     // FORD bug: defer the lock to commit time, where it overlaps
     // validation. Prefetch the undo image without holding the lock.
+    stats_.bug_injections++;
     PANDORA_RETURN_NOT_OK(FetchUndoImageUnlocked(&op));
     AppendWriteOp(std::move(op));
     return Status::OK();
@@ -419,6 +421,7 @@ Status Coordinator::StageWrite(WriteOp op) {
   if (log_before_lock) {
     // FORD bug: undo record written before the lock is grabbed, with a
     // pre-lock value image.
+    stats_.bug_injections++;
     PANDORA_RETURN_NOT_OK(FetchUndoImageUnlocked(&op));
     if (pipelining_enabled() && !config_.disable_recovery_logging &&
         !(op.is_insert && config_.bugs.missing_insert_logging)) {
@@ -879,7 +882,14 @@ Status Coordinator::CheckValidation(
     if (version != r.version) {
       return Status::Aborted("read-set version changed");
     }
-    if (config_.bugs.covert_locks) continue;  // FORD bug: skip lock check.
+    if (config_.bugs.covert_locks) {
+      // FORD bug: skip the lock check. Count it as exercised only when
+      // the skipped check would actually have seen a foreign lock.
+      if (store::LockHeld(lock) && store::LockOwner(lock) != coord_id_) {
+        stats_.bug_injections++;
+      }
+      continue;
+    }
     if (store::LockHeld(lock)) {
       const uint16_t owner = store::LockOwner(lock);
       if (owner == coord_id_) continue;  // Our own write-set lock.
@@ -934,6 +944,13 @@ Status Coordinator::CommitInternal() {
   if (config_.bugs.relaxed_locks) {
     // FORD bug: the deferred lock CASes ride in the same doorbell *after*
     // the validation reads, so validation can overlap lock acquisition.
+    bool any_deferred = false;
+    for (const WriteOp& op : write_set_) {
+      if (!op.locked) any_deferred = true;
+    }
+    if (any_deferred) {
+      PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeDeferredLock));
+    }
     for (WriteOp& op : write_set_) {
       if (op.locked) continue;
       const cluster::TableInfo& info = cluster_->catalog().table(op.table);
@@ -1198,11 +1215,21 @@ Status Coordinator::AbortInternal() {
       log_writer_.PostInvalidateCoordinatorSlot(slot, &batch);
     }
   }
-  if (config_.mode != ProtocolMode::kPandora &&
-      !config_.bugs.lost_decision) {
-    for (WriteOp& op : write_set_) {
-      for (const auto& [server, slot] : op.log_slots) {
-        log_writer_.PostInvalidate(server, slot, &batch);
+  if (config_.mode != ProtocolMode::kPandora) {
+    if (config_.bugs.lost_decision) {
+      // FORD bug: the abort decision is never logged. Exercised whenever
+      // valid-looking undo records survive this abort.
+      for (const WriteOp& op : write_set_) {
+        if (!op.log_slots.empty()) {
+          stats_.bug_injections++;
+          break;
+        }
+      }
+    } else {
+      for (WriteOp& op : write_set_) {
+        for (const auto& [server, slot] : op.log_slots) {
+          log_writer_.PostInvalidate(server, slot, &batch);
+        }
       }
     }
   }
@@ -1222,6 +1249,7 @@ Status Coordinator::AbortInternal() {
     if (!release) continue;
     if (op.lock_node == rdma::kInvalidNodeId) continue;
     if (!cluster_->membership().IsMemoryAlive(op.lock_node)) continue;
+    if (!op.locked) stats_.bug_injections++;  // Complicit release fired.
     const cluster::TableInfo& info = cluster_->catalog().table(op.table);
     unlock_batch.Write(server_->qp(op.lock_node),
                        info.region_rkeys[op.lock_node],

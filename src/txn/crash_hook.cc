@@ -1,5 +1,7 @@
 #include "txn/crash_hook.h"
 
+#include <algorithm>
+
 namespace pandora {
 namespace txn {
 
@@ -39,8 +41,77 @@ const char* CrashPointName(CrashPoint point) {
       return "MidAbortUnlock";
     case CrashPoint::kAfterAbort:
       return "AfterAbort";
+    case CrashPoint::kBeforeDeferredLock:
+      return "BeforeDeferredLock";
   }
   return "Unknown";
+}
+
+bool CrashPointFromName(const std::string& name, CrashPoint* out) {
+  for (int p = 0; p < kNumCrashPoints; ++p) {
+    const CrashPoint point = static_cast<CrashPoint>(p);
+    if (name == CrashPointName(point)) {
+      *out = point;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ScheduleRecorderHook::BeginRun(int run) {
+  run_ = run;
+  if (static_cast<size_t>(run) >= visited_.size()) {
+    visited_.resize(static_cast<size_t>(run) + 1);
+  }
+}
+
+void ScheduleRecorderHook::ArmCrashAt(int run, CrashPoint point,
+                                      int occurrence) {
+  armed_ = true;
+  arm_run_ = run;
+  arm_point_ = point;
+  arm_occurrence_ = occurrence;
+}
+
+void ScheduleRecorderHook::ArmCrashAtGlobalOccurrence(int occurrence) {
+  any_point_ = true;
+  global_remaining_ = occurrence;
+}
+
+bool ScheduleRecorderHook::MaybeCrash(CrashPoint point) {
+  if (run_ < 0) BeginRun(0);
+  auto& trace = visited_[static_cast<size_t>(run_)];
+  trace.push_back(point);
+  const int occurrence = static_cast<int>(
+      std::count(trace.begin(), trace.end(), point));
+  if (observer_) observer_(point, run_, occurrence);
+  if (fired_) return false;
+
+  bool fire = false;
+  if (any_point_) {
+    fire = (--global_remaining_ == 0);
+  } else if (armed_ && run_ == arm_run_ && point == arm_point_ &&
+             occurrence == arm_occurrence_) {
+    fire = true;
+  }
+  if (fire) {
+    fired_ = true;
+    fired_point_ = point;
+    fired_run_ = run_;
+    fired_occurrence_ = occurrence;
+  }
+  return fire;
+}
+
+const std::vector<CrashPoint>& ScheduleRecorderHook::visited(int run) const {
+  static const std::vector<CrashPoint> kEmpty;
+  if (run < 0 || static_cast<size_t>(run) >= visited_.size()) return kEmpty;
+  return visited_[static_cast<size_t>(run)];
+}
+
+int ScheduleRecorderHook::VisitCount(int run, CrashPoint point) const {
+  const std::vector<CrashPoint>& trace = visited(run);
+  return static_cast<int>(std::count(trace.begin(), trace.end(), point));
 }
 
 }  // namespace txn

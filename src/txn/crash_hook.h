@@ -1,6 +1,10 @@
 #ifndef PANDORA_TXN_CRASH_HOOK_H_
 #define PANDORA_TXN_CRASH_HOOK_H_
 
+#include <functional>
+#include <string>
+#include <vector>
+
 namespace pandora {
 namespace txn {
 
@@ -26,10 +30,19 @@ enum class CrashPoint {
   kAfterAbortTruncate,  // logs invalidated, locks still held
   kMidAbortUnlock,
   kAfterAbort,
+  kBeforeDeferredLock,  // relaxed-locks bug: validation read done, the
+                        // deferred lock CAS not yet posted
 };
 
-/// Returns a stable human-readable name (for litmus reports).
+constexpr int kNumCrashPoints =
+    static_cast<int>(CrashPoint::kBeforeDeferredLock) + 1;
+
+/// Returns a stable human-readable name (for litmus reports and trace
+/// serialization).
 const char* CrashPointName(CrashPoint point);
+
+/// Inverse of CrashPointName; returns false if `name` is unknown.
+bool CrashPointFromName(const std::string& name, CrashPoint* out);
 
 /// Fault-injection callback. Implementations (the litmus framework's crash
 /// schedules) return true to kill the coordinator's compute server at this
@@ -39,6 +52,75 @@ class CrashHook {
  public:
   virtual ~CrashHook() = default;
   virtual bool MaybeCrash(CrashPoint point) = 0;
+};
+
+/// Schedule-aware crash hook used by the litmus schedule explorer. It
+/// records every crash point a coordinator actually visits (per program
+/// run), so the explorer can enumerate exactly the reachable schedules and
+/// flag directives that never fired (injection no-ops). A crash can be
+/// armed two ways:
+///  * precisely — fire at the Nth visit of one point in one run
+///    (deterministic schedule exploration / replay);
+///  * globally — fire at the Nth crash point hit overall, whatever it is
+///    (the legacy randomized sampler).
+///
+/// The optional point observer runs at *every* visited point before the
+/// crash decision; the litmus lockstep scheduler uses it as a rendezvous
+/// barrier to force racy interleavings deterministically.
+///
+/// Not thread-safe: one hook per coordinator, driven from its thread;
+/// results are read after the thread joins.
+class ScheduleRecorderHook : public CrashHook {
+ public:
+  using PointObserver =
+      std::function<void(CrashPoint point, int run, int occurrence)>;
+
+  void set_point_observer(PointObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Marks the start of program run `run` (0-based, monotonic).
+  void BeginRun(int run);
+
+  /// Arms a precise crash: the `occurrence`-th (1-based) visit of `point`
+  /// during run `run`.
+  void ArmCrashAt(int run, CrashPoint point, int occurrence);
+
+  /// Arms a global-occurrence crash: the `occurrence`-th (1-based) crash
+  /// point hit across all points and runs.
+  void ArmCrashAtGlobalOccurrence(int occurrence);
+
+  bool MaybeCrash(CrashPoint point) override;
+
+  bool armed() const { return armed_ || any_point_; }
+  bool fired() const { return fired_; }
+  CrashPoint fired_point() const { return fired_point_; }
+  int fired_run() const { return fired_run_; }
+  int fired_occurrence() const { return fired_occurrence_; }
+
+  int runs_recorded() const { return static_cast<int>(visited_.size()); }
+  /// Points visited during `run`, in visit order.
+  const std::vector<CrashPoint>& visited(int run) const;
+  /// Number of times `point` was visited during `run`.
+  int VisitCount(int run, CrashPoint point) const;
+
+ private:
+  PointObserver observer_;
+  std::vector<std::vector<CrashPoint>> visited_;
+  int run_ = -1;
+
+  bool armed_ = false;
+  int arm_run_ = 0;
+  CrashPoint arm_point_ = CrashPoint::kBeforeLock;
+  int arm_occurrence_ = 1;
+
+  bool any_point_ = false;
+  int global_remaining_ = 0;
+
+  bool fired_ = false;
+  CrashPoint fired_point_ = CrashPoint::kBeforeLock;
+  int fired_run_ = 0;
+  int fired_occurrence_ = 0;
 };
 
 }  // namespace txn

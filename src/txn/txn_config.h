@@ -117,6 +117,11 @@ struct TxnStats {
   /// Doorbells rung: one per verb group issued together (a batch of N
   /// verbs is 1 doorbell; N sequential verbs are N).
   uint64_t doorbells = 0;
+  /// Times an enabled BugFlags deviation actually altered protocol
+  /// behavior (a check skipped, a log omitted, an ordering relaxed). The
+  /// litmus harness uses this to flag bug flags that were never exercised
+  /// — an injection no-op proves nothing.
+  uint64_t bug_injections = 0;
 };
 
 }  // namespace txn

@@ -6,6 +6,10 @@ namespace pandora {
 namespace workloads {
 
 Status MicroWorkload::Setup(cluster::Cluster* cluster) {
+  // A hot set larger than the table would index absent keys.
+  if (config_.hot_keys > config_.num_keys) {
+    config_.hot_keys = config_.num_keys;
+  }
   table_ = cluster->CreateTable("micro", /*value_size=*/40,
                                 config_.num_keys);
   if (config_.zipf_theta > 0) {

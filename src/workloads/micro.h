@@ -36,6 +36,11 @@ class MicroWorkload : public Workload {
   const MicroConfig& config() const { return config_; }
   store::TableId table() const { return table_; }
 
+  /// The key-selection distribution RunTransaction draws from, exposed so
+  /// tests can pin the hot-set restriction directly: every sampled key is
+  /// < hot_keys when a hot set is configured.
+  store::Key SampleKey(Random* rng) const { return PickKey(rng); }
+
  private:
   store::Key PickKey(Random* rng) const;
 
