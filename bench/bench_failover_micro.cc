@@ -87,5 +87,8 @@ int main() {
   PrintRow("compute-fault (no reuse) average", no_reuse.mtps, "MTps");
   PrintRow("compute-fault (reuse) average", reuse.mtps, "MTps");
   PrintRow("memory-fault average", memory.mtps, "MTps");
+  PrintLatencyRows("steady-state", baseline);
+  PrintLatencyRows("compute-fault (reuse)", reuse);
+  PrintLatencyRows("memory-fault", memory);
   return 0;
 }

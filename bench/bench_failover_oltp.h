@@ -64,6 +64,9 @@ inline void RunOltpFailover(const WorkloadFactory& factory,
   PrintRow("steady-state average", steady.mtps, "MTps");
   PrintRow("compute-fault average", compute_fault.mtps, "MTps");
   PrintRow("memory-fault average", memory_fault.mtps, "MTps");
+  PrintLatencyRows("steady-state", steady);
+  PrintLatencyRows("compute-fault", compute_fault);
+  PrintLatencyRows("memory-fault", memory_fault);
 }
 
 }  // namespace bench

@@ -3,6 +3,13 @@
 // words, coordinator-log written at commit). The paper's point: Pandora's
 // recoverability costs nothing in failure-free steady state (0.919 vs
 // 0.912 MTps on their testbed).
+//
+// Each protocol runs twice: the blocking baseline (1 fiber per worker
+// thread) and the fiber-scheduled configuration (8 fibers per thread),
+// which overlaps simulated RDMA waits across in-flight transactions the
+// way the paper's 128-coordinators-on-few-cores testbed does. The run
+// emits the canonical BENCH_steady_state.json artifact (throughput,
+// percentiles, config, git SHA) used to track the repo's perf trajectory.
 
 #include "bench/bench_util.h"
 #include "workloads/micro.h"
@@ -11,7 +18,12 @@ namespace pandora {
 namespace bench {
 namespace {
 
-workloads::DriverResult RunSteadyState(bool recoverable) {
+constexpr uint32_t kThreads = 2;
+constexpr uint32_t kCoordinators = 128;  // The paper's 128 coordinators.
+constexpr uint32_t kScaledFibers = 8;
+
+workloads::DriverResult RunSteadyState(bool recoverable,
+                                       uint32_t fibers_per_thread) {
   workloads::MicroConfig micro_config;
   micro_config.num_keys = 20'000;
   micro_config.write_percent = 50;
@@ -23,10 +35,11 @@ workloads::DriverResult RunSteadyState(bool recoverable) {
   Testbed testbed(PaperTestbed(), rm, &workload);
 
   workloads::DriverConfig driver_config;
-  driver_config.threads = 2;
-  driver_config.coordinators = 128;  // The paper's 128 coordinators.
+  driver_config.threads = kThreads;
+  driver_config.coordinators = kCoordinators;
   driver_config.duration_ms = Scaled(3000);
   driver_config.bucket_ms = Scaled(3000) / 15;
+  driver_config.fibers_per_thread = fibers_per_thread;
   driver_config.txn.mode = txn::ProtocolMode::kPandora;
   // The "FORD" line is the same online protocol with the entire
   // online-recovery component (C2: undo logging + truncation) disabled —
@@ -34,6 +47,13 @@ workloads::DriverResult RunSteadyState(bool recoverable) {
   driver_config.txn.disable_recovery_logging = !recoverable;
   auto driver = testbed.MakeDriver(driver_config);
   return driver->Run();
+}
+
+void Report(BenchJson* json, const std::string& label,
+            const workloads::DriverResult& result) {
+  PrintRow(label + " average throughput", result.mtps, "MTps");
+  PrintLatencyRows(label, result);
+  AddDriverMetrics(json, label, result);
 }
 
 }  // namespace
@@ -49,27 +69,49 @@ int main() {
               "difference is negligible because the failed-id bitset "
               "lookup costs nanoseconds against microsecond round trips");
 
-  const workloads::DriverResult ford = RunSteadyState(false);
-  const workloads::DriverResult pandora = RunSteadyState(true);
+  BenchJson json("steady_state");
+  json.SetText("git_sha", GitSha());
+  json.Set("threads", kThreads);
+  json.Set("coordinators", kCoordinators);
+  json.Set("duration_ms", static_cast<double>(Scaled(3000)));
+  json.Set("fibers_per_thread_scaled", kScaledFibers);
+
+  const workloads::DriverResult ford = RunSteadyState(false, 1);
+  const workloads::DriverResult pandora = RunSteadyState(true, 1);
+  const workloads::DriverResult ford_fibers =
+      RunSteadyState(false, kScaledFibers);
+  const workloads::DriverResult pandora_fibers =
+      RunSteadyState(true, kScaledFibers);
 
   PrintTimeline("FORD (non-recoverable)", ford.timeline_mtps,
                 Scaled(3000) / 15);
   PrintTimeline("Pandora (PILL)", pandora.timeline_mtps,
                 Scaled(3000) / 15);
-  PrintRow("FORD average throughput", ford.mtps, "MTps");
-  PrintRow("Pandora average throughput", pandora.mtps, "MTps");
-  PrintRow("FORD commit latency p50",
-           ford.commit_latency.PercentileNanos(50) / 1000.0, "us");
-  PrintRow("FORD commit latency p99",
-           ford.commit_latency.PercentileNanos(99) / 1000.0, "us");
-  PrintRow("Pandora commit latency p50",
-           pandora.commit_latency.PercentileNanos(50) / 1000.0, "us");
-  PrintRow("Pandora commit latency p99",
-           pandora.commit_latency.PercentileNanos(99) / 1000.0, "us");
-  PrintRow("PILL steady-state overhead",
-           ford.mtps > 0
-               ? (ford.mtps - pandora.mtps) / ford.mtps * 100.0
-               : 0.0,
+  Report(&json, "ford", ford);
+  Report(&json, "pandora", pandora);
+  Report(&json, "ford_fibers8", ford_fibers);
+  Report(&json, "pandora_fibers8", pandora_fibers);
+
+  PrintRow("Pandora fiber speedup (8 fibers/thread)",
+           pandora.mtps > 0 ? pandora_fibers.mtps / pandora.mtps : 0.0,
+           "x");
+  PrintRow("Pandora overlap factor (8 fibers/thread)",
+           pandora_fibers.overlap_factor, "x");
+  const double overhead =
+      ford.mtps > 0 ? (ford.mtps - pandora.mtps) / ford.mtps * 100.0 : 0.0;
+  const double overhead_fibers =
+      ford_fibers.mtps > 0
+          ? (ford_fibers.mtps - pandora_fibers.mtps) / ford_fibers.mtps *
+                100.0
+          : 0.0;
+  PrintRow("PILL steady-state overhead", overhead,
            "% (expected: negligible)");
+  PrintRow("PILL steady-state overhead (8 fibers)", overhead_fibers,
+           "% (expected: negligible)");
+  json.Set("pill_overhead_percent", overhead);
+  json.Set("pill_overhead_percent_fibers8", overhead_fibers);
+  json.Set("pandora_fiber_speedup",
+           pandora.mtps > 0 ? pandora_fibers.mtps / pandora.mtps : 0.0);
+  json.Write();
   return 0;
 }

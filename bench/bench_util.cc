@@ -91,12 +91,43 @@ void PrintRow(const std::string& label, double value,
 
 void BenchJson::Set(const std::string& key, double value) {
   for (auto& metric : metrics_) {
-    if (metric.first == key) {
-      metric.second = value;
+    if (metric.key == key) {
+      metric.number = value;
+      metric.is_text = false;
       return;
     }
   }
-  metrics_.emplace_back(key, value);
+  metrics_.push_back({key, value, "", false});
+}
+
+void BenchJson::SetText(const std::string& key, const std::string& value) {
+  for (auto& metric : metrics_) {
+    if (metric.key == key) {
+      metric.text = value;
+      metric.is_text = true;
+      return;
+    }
+  }
+  metrics_.push_back({key, 0, value, true});
+}
+
+std::string GitSha() {
+  const char* env = std::getenv("PANDORA_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {0};
+    const bool read = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+    ::pclose(pipe);
+    if (read) {
+      std::string sha(buf);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+      if (!sha.empty()) return sha;
+    }
+  }
+  return "unknown";
 }
 
 std::string BenchJson::Write() const {
@@ -113,8 +144,13 @@ std::string BenchJson::Write() const {
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
   for (const auto& metric : metrics_) {
-    std::fprintf(f, ",\n  \"%s\": %.10g", metric.first.c_str(),
-                 metric.second);
+    if (metric.is_text) {
+      std::fprintf(f, ",\n  \"%s\": \"%s\"", metric.key.c_str(),
+                   metric.text.c_str());
+    } else {
+      std::fprintf(f, ",\n  \"%s\": %.10g", metric.key.c_str(),
+                   metric.number);
+    }
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);
@@ -133,11 +169,11 @@ void AddDriverMetrics(BenchJson* json, const std::string& prefix,
   json->Set(p + "aborted", static_cast<double>(result.aborted));
   json->Set(p + "mtps", result.mtps);
   json->Set(p + "p50_us",
-            static_cast<double>(result.commit_latency.PercentileNanos(50)) /
-                1000.0);
+            static_cast<double>(result.latency_p50_ns) / 1000.0);
+  json->Set(p + "p95_us",
+            static_cast<double>(result.latency_p95_ns) / 1000.0);
   json->Set(p + "p99_us",
-            static_cast<double>(result.commit_latency.PercentileNanos(99)) /
-                1000.0);
+            static_cast<double>(result.latency_p99_ns) / 1000.0);
   json->Set(p + "mean_us", result.commit_latency.MeanNanos() / 1000.0);
   json->Set(p + "execution_rtts",
             static_cast<double>(result.totals.execution_rtts));
@@ -150,6 +186,9 @@ void AddDriverMetrics(BenchJson* json, const std::string& prefix,
             static_cast<double>(result.totals.commit_rtts) / committed);
   json->Set(p + "doorbells_per_committed",
             static_cast<double>(result.totals.doorbells) / committed);
+  json->Set(p + "fiber_yields",
+            static_cast<double>(result.fiber_yields));
+  json->Set(p + "overlap_factor", result.overlap_factor);
 }
 
 void PrintRttRows(const std::string& label,
@@ -167,6 +206,16 @@ void PrintRttRows(const std::string& label,
   PrintRow(label + " doorbells/txn",
            static_cast<double>(result.totals.doorbells) / committed,
            "doorbells");
+}
+
+void PrintLatencyRows(const std::string& label,
+                      const workloads::DriverResult& result) {
+  PrintRow(label + " commit latency p50",
+           static_cast<double>(result.latency_p50_ns) / 1000.0, "us");
+  PrintRow(label + " commit latency p95",
+           static_cast<double>(result.latency_p95_ns) / 1000.0, "us");
+  PrintRow(label + " commit latency p99",
+           static_cast<double>(result.latency_p99_ns) / 1000.0, "us");
 }
 
 }  // namespace bench

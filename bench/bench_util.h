@@ -73,24 +73,38 @@ void PrintTimeline(const std::string& label,
 void PrintRow(const std::string& label, double value,
               const std::string& unit);
 
-/// Machine-readable results: an ordered flat map of metric name -> number,
-/// written as BENCH_<name>.json into PANDORA_BENCH_JSON_DIR (or the
-/// working directory when unset). Keys use dotted prefixes to group runs,
-/// e.g. "pipelined.p50_us".
+/// Machine-readable results: an ordered flat map of metric name -> number
+/// (or string), written as BENCH_<name>.json into PANDORA_BENCH_JSON_DIR
+/// (or the working directory when unset). Keys use dotted prefixes to
+/// group runs, e.g. "pipelined.p50_us".
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
   void Set(const std::string& key, double value);
+  /// String-valued metadata (git SHA, config labels); emitted quoted.
+  void SetText(const std::string& key, const std::string& value);
 
   /// Writes the file and returns its path ("" on I/O failure, which is
   /// logged but never fatal — benches must still print their rows).
   std::string Write() const;
 
  private:
+  struct Metric {
+    std::string key;
+    double number = 0;
+    std::string text;
+    bool is_text = false;
+  };
   std::string name_;
-  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<Metric> metrics_;
 };
+
+/// The git commit the bench binary's tree was at: the PANDORA_GIT_SHA env
+/// var if set, else `git rev-parse --short HEAD` from the working
+/// directory, else "unknown". Stamped into bench artifacts so the perf
+/// trajectory is attributable.
+std::string GitSha();
 
 /// Adds the standard result metrics under `prefix.`: throughput
 /// (committed/aborted/mtps), commit latency (p50/p99/mean, µs), and the
@@ -102,6 +116,11 @@ void AddDriverMetrics(BenchJson* json, const std::string& prefix,
 /// Prints the round-trip counter rows every bench reports the same way.
 void PrintRttRows(const std::string& label,
                   const workloads::DriverResult& result);
+
+/// Prints the commit-latency percentile rows (p50/p95/p99, µs) from the
+/// result's precomputed percentiles.
+void PrintLatencyRows(const std::string& label,
+                      const workloads::DriverResult& result);
 
 }  // namespace bench
 }  // namespace pandora

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fiber.h"
+
 namespace pandora {
 
 namespace {
@@ -23,6 +25,15 @@ uint64_t NowNanos() {
 uint64_t NowMicros() { return NowNanos() / 1000; }
 
 void SpinUntilNanos(uint64_t deadline_ns) {
+  // Cooperative wait hook: inside a fiber, suspend it until the deadline
+  // and let another in-flight transaction use the core. The scheduler
+  // resumes the fiber no earlier than deadline_ns, so callers observe the
+  // same elapsed wall time as the blocking spin below.
+  FiberScheduler* scheduler = FiberScheduler::Active();
+  if (scheduler != nullptr && scheduler->InFiber()) {
+    scheduler->WaitUntilNanos(deadline_ns);
+    return;
+  }
   // Spin for short waits; yield for longer ones. With only a couple of
   // physical cores, pure spinning across many coordinator threads would
   // serialize the whole simulation.
@@ -41,6 +52,13 @@ void SpinForNanos(uint64_t delay_ns) {
 }
 
 void SleepForMicros(uint64_t micros) {
+  // Same cooperative hook as SpinUntilNanos: a sleeping fiber (stall
+  // retry, gate wait, pacing) must not block its whole worker thread.
+  FiberScheduler* scheduler = FiberScheduler::Active();
+  if (scheduler != nullptr && scheduler->InFiber()) {
+    scheduler->WaitUntilNanos(NowNanos() + micros * 1000);
+    return;
+  }
   std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 

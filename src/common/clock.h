@@ -12,17 +12,21 @@ uint64_t NowNanos();
 /// Monotonic microseconds, for coarse-grained reporting.
 uint64_t NowMicros();
 
-/// Busy-waits until NowNanos() >= deadline_ns. For short waits (< ~50 us,
-/// i.e. simulated RDMA round trips) this spins; for longer waits it yields
-/// to the OS scheduler so multiplexed logical coordinators don't starve
-/// each other on a small core count.
+/// Waits until NowNanos() >= deadline_ns. Inside a fiber (see
+/// common/fiber.h) the wait suspends the fiber so another in-flight
+/// transaction can use the core; otherwise, for short waits (< ~50 us,
+/// i.e. simulated RDMA round trips) this spins, and for longer waits it
+/// yields to the OS scheduler so multiplexed logical coordinators don't
+/// starve each other on a small core count. Either way the caller
+/// observes at least the requested wall-time delay.
 void SpinUntilNanos(uint64_t deadline_ns);
 
-/// Convenience: busy-wait for `delay_ns` nanoseconds from now.
+/// Convenience: wait for `delay_ns` nanoseconds from now.
 void SpinForNanos(uint64_t delay_ns);
 
-/// Sleeps (OS sleep, not spin) for the given duration. For heartbeat loops
-/// and failure-detector timers where burning a core would be wrong.
+/// Sleeps for the given duration — an OS sleep on a plain thread, a fiber
+/// suspension inside a fiber. For heartbeat loops, failure-detector
+/// timers, and retry backoffs where burning a core would be wrong.
 void SleepForMicros(uint64_t micros);
 
 }  // namespace pandora

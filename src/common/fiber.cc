@@ -1,0 +1,203 @@
+#include "common/fiber.h"
+
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+// Sanitizer fiber-switch annotations. Without them ASan sees a switched
+// stack as a wild jump (false "stack-use-after-return"/overflow reports)
+// and TSan sees impossible happens-before edges between fibers sharing one
+// thread. GCC defines __SANITIZE_*__; clang exposes __has_feature.
+#if defined(__SANITIZE_ADDRESS__)
+#define PANDORA_ASAN_FIBERS 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define PANDORA_TSAN_FIBERS 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PANDORA_ASAN_FIBERS 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define PANDORA_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(PANDORA_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(PANDORA_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace pandora {
+
+namespace {
+
+thread_local FiberScheduler* tl_active_scheduler = nullptr;
+
+// Raw spin used by the scheduler itself when no fiber is runnable. Must
+// bypass the fiber wait hook in clock.cc (the scheduler is not a fiber);
+// same spin/yield policy as the blocking SpinUntilNanos.
+void IdleSpinUntilNanos(uint64_t deadline_ns) {
+  constexpr uint64_t kSpinThresholdNs = 20'000;
+  uint64_t now = NowNanos();
+  while (now < deadline_ns) {
+    if (deadline_ns - now > kSpinThresholdNs) {
+      std::this_thread::yield();
+    }
+    now = NowNanos();
+  }
+}
+
+}  // namespace
+
+struct FiberScheduler::Fiber {
+  std::function<void()> body;
+  FiberScheduler* scheduler = nullptr;
+  ucontext_t context;
+  std::unique_ptr<char[]> stack;
+  uint64_t ready_at_ns = 0;  // Runnable once NowNanos() >= this.
+  uint64_t seq = 0;          // FIFO tie-break among equal deadlines.
+  bool done = false;
+  void* fake_stack = nullptr;  // ASan fake-stack handle across suspension.
+  void* tsan_fiber = nullptr;
+};
+
+FiberScheduler::FiberScheduler(size_t stack_bytes)
+    : stack_bytes_(stack_bytes) {}
+
+FiberScheduler::~FiberScheduler() {
+  PANDORA_CHECK(current_ == nullptr);
+  for (auto& fiber : fibers_) {
+    // Fibers must run to completion: destroying a suspended fiber would
+    // leak whatever its stack owns.
+    PANDORA_CHECK(fiber->done);
+#if defined(PANDORA_TSAN_FIBERS)
+    if (fiber->tsan_fiber != nullptr) __tsan_destroy_fiber(fiber->tsan_fiber);
+#endif
+  }
+}
+
+FiberScheduler* FiberScheduler::Active() { return tl_active_scheduler; }
+
+void FiberScheduler::Trampoline(unsigned int hi, unsigned int lo) {
+  auto* fiber = reinterpret_cast<Fiber*>(
+      (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo));
+  FiberScheduler* scheduler = fiber->scheduler;
+  scheduler->FinishSwitchIntoFiber(fiber);
+  fiber->body();
+  fiber->done = true;
+  scheduler->SwitchOut(fiber);
+  PANDORA_CHECK(false);  // A done fiber is never resumed.
+}
+
+void FiberScheduler::Spawn(std::function<void()> body) {
+  PANDORA_CHECK(current_ == nullptr);
+  auto fiber = std::make_unique<Fiber>();
+  fiber->body = std::move(body);
+  fiber->scheduler = this;
+  fiber->stack = std::make_unique<char[]>(stack_bytes_);
+  fiber->seq = ++next_seq_;
+  PANDORA_CHECK(getcontext(&fiber->context) == 0);
+  fiber->context.uc_stack.ss_sp = fiber->stack.get();
+  fiber->context.uc_stack.ss_size = stack_bytes_;
+  fiber->context.uc_link = nullptr;  // Fibers exit via SwitchOut, never fall off.
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(fiber.get());
+  makecontext(&fiber->context, reinterpret_cast<void (*)()>(&Trampoline), 2,
+              static_cast<unsigned int>(addr >> 32),
+              static_cast<unsigned int>(addr & 0xffffffffu));
+#if defined(PANDORA_TSAN_FIBERS)
+  fiber->tsan_fiber = __tsan_create_fiber(0);
+#endif
+  fibers_.push_back(std::move(fiber));
+}
+
+FiberScheduler::Fiber* FiberScheduler::PickNext() {
+  Fiber* best = nullptr;
+  for (const auto& fiber : fibers_) {
+    if (fiber->done) continue;
+    if (best == nullptr || fiber->ready_at_ns < best->ready_at_ns ||
+        (fiber->ready_at_ns == best->ready_at_ns &&
+         fiber->seq < best->seq)) {
+      best = fiber.get();
+    }
+  }
+  return best;
+}
+
+void FiberScheduler::Run() {
+  PANDORA_CHECK(tl_active_scheduler == nullptr);
+  tl_active_scheduler = this;
+#if defined(PANDORA_TSAN_FIBERS)
+  main_tsan_fiber_ = __tsan_get_current_fiber();
+#endif
+  while (Fiber* next = PickNext()) {
+    const uint64_t now = NowNanos();
+    if (next->ready_at_ns > now) {
+      // Nothing runnable: this is the only wall time a wait still costs.
+      stats_.idle_ns += next->ready_at_ns - now;
+      IdleSpinUntilNanos(next->ready_at_ns);
+    }
+    SwitchIn(next);
+    if (next->done) next->stack.reset();  // Stack is dead; free it early.
+  }
+  tl_active_scheduler = nullptr;
+}
+
+void FiberScheduler::WaitUntilNanos(uint64_t deadline_ns) {
+  Fiber* fiber = current_;
+  PANDORA_CHECK(fiber != nullptr);
+  stats_.yields++;
+  const uint64_t now = NowNanos();
+  if (deadline_ns > now) stats_.wait_ns += deadline_ns - now;
+  fiber->ready_at_ns = deadline_ns;
+  fiber->seq = ++next_seq_;
+  SwitchOut(fiber);
+  // The scheduler resumes a fiber only once its deadline has passed, so
+  // NowNanos() >= deadline_ns here — the simulated wait fully elapsed.
+}
+
+void FiberScheduler::SwitchIn(Fiber* fiber) {
+#if defined(PANDORA_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&main_fake_stack_, fiber->stack.get(),
+                                 stack_bytes_);
+#endif
+#if defined(PANDORA_TSAN_FIBERS)
+  __tsan_switch_to_fiber(fiber->tsan_fiber, 0);
+#endif
+  current_ = fiber;
+  PANDORA_CHECK(swapcontext(&main_context_, &fiber->context) == 0);
+  current_ = nullptr;
+#if defined(PANDORA_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(main_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+void FiberScheduler::SwitchOut(Fiber* fiber) {
+#if defined(PANDORA_ASAN_FIBERS)
+  // A dying fiber hands ASan a null save slot so its fake stack is freed.
+  __sanitizer_start_switch_fiber(fiber->done ? nullptr : &fiber->fake_stack,
+                                 main_stack_bottom_, main_stack_size_);
+#endif
+#if defined(PANDORA_TSAN_FIBERS)
+  __tsan_switch_to_fiber(main_tsan_fiber_, 0);
+#endif
+  PANDORA_CHECK(swapcontext(&fiber->context, &main_context_) == 0);
+  // Resumed by a later SwitchIn.
+  FinishSwitchIntoFiber(fiber);
+}
+
+void FiberScheduler::FinishSwitchIntoFiber(Fiber* fiber) {
+#if defined(PANDORA_ASAN_FIBERS)
+  // On first entry fake_stack is null; bottom/size capture the scheduler
+  // context's stack so SwitchOut can name it as the switch target.
+  __sanitizer_finish_switch_fiber(fiber->fake_stack, &main_stack_bottom_,
+                                  &main_stack_size_);
+#else
+  (void)fiber;
+#endif
+}
+
+}  // namespace pandora

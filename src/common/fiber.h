@@ -1,0 +1,109 @@
+#ifndef PANDORA_COMMON_FIBER_H_
+#define PANDORA_COMMON_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pandora {
+
+/// Cooperative stackful fibers: the concurrency substrate that lets one OS
+/// worker thread overlap the simulated RDMA waits of many in-flight
+/// transactions, the way the paper's testbed overlaps its 128 latency-bound
+/// coordinators over a handful of cores.
+///
+/// A FiberScheduler owns N fibers on ONE thread. Fibers never migrate
+/// between threads and never run concurrently — every switch is explicit —
+/// so code running inside fibers needs no synchronization against its
+/// sibling fibers (cross-thread synchronization rules are unchanged).
+///
+/// The simulated fabric's waits (SpinUntilNanos / SleepForMicros, and
+/// through them QueuePair::Wait, VerbBatch::Execute, OrderedBatch::Execute,
+/// stall retries, and the system gate) consult the thread's active
+/// scheduler: inside a fiber they suspend it with a ready-at deadline
+/// instead of burning the core, and the scheduler resumes the
+/// earliest-ready runnable fiber. A fiber is never resumed before its
+/// deadline — the scheduler spins only when *nothing* is runnable — so
+/// simulated-RTT accounting is identical to the blocking implementation;
+/// only the real CPU time of the wait is reclaimed for other fibers.
+///
+/// Threads that never install a scheduler (unit tests, the litmus
+/// harness's lockstep slots, recovery and heartbeat threads) are
+/// untouched: the wait hook is inert without a thread-local scheduler.
+class FiberScheduler {
+ public:
+  struct Stats {
+    /// Fiber suspensions through the wait hook.
+    uint64_t yields = 0;
+    /// Simulated wait nanoseconds suspended through the scheduler — the
+    /// time the blocking implementation would have burned spinning.
+    uint64_t wait_ns = 0;
+    /// Wall nanoseconds the scheduler truly idled because no fiber was
+    /// runnable yet. wait_ns / idle_ns is the overlap factor: ~1 means no
+    /// overlap (a single fiber), ~N means N waits hidden behind each
+    /// other.
+    uint64_t idle_ns = 0;
+  };
+
+  static constexpr size_t kDefaultStackBytes = 256 * 1024;
+
+  explicit FiberScheduler(size_t stack_bytes = kDefaultStackBytes);
+  ~FiberScheduler();
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Registers a fiber; it starts running on the next Run(). Must be
+  /// called from the thread that will call Run(), outside any fiber.
+  void Spawn(std::function<void()> body);
+
+  /// Runs every spawned fiber to completion, interleaving them at wait
+  /// points. Installs this scheduler as the calling thread's active one
+  /// for the duration. Not reentrant: nesting schedulers on one thread is
+  /// a programming error.
+  void Run();
+
+  /// The calling thread's scheduler while inside Run(), else nullptr.
+  static FiberScheduler* Active();
+
+  /// True while a fiber body is executing (the wait hook fires only then).
+  bool InFiber() const { return current_ != nullptr; }
+
+  /// Suspends the current fiber until NowNanos() >= deadline_ns, running
+  /// other fibers meanwhile. The wait hook's entry point; callable only
+  /// from inside a fiber.
+  void WaitUntilNanos(uint64_t deadline_ns);
+
+  const Stats& stats() const { return stats_; }
+  size_t num_fibers() const { return fibers_.size(); }
+
+ private:
+  struct Fiber;
+
+  static void Trampoline(unsigned int hi, unsigned int lo);
+  void SwitchIn(Fiber* fiber);         // Scheduler context -> fiber.
+  void SwitchOut(Fiber* fiber);        // Fiber -> scheduler context.
+  void FinishSwitchIntoFiber(Fiber* fiber);  // Sanitizer arrival hook.
+  Fiber* PickNext();  // Earliest-deadline non-done fiber, FIFO tie-break.
+
+  size_t stack_bytes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  Fiber* current_ = nullptr;
+  ucontext_t main_context_;
+  uint64_t next_seq_ = 0;
+  Stats stats_;
+
+  // Sanitizer bookkeeping for the scheduler (thread) context.
+  void* main_fake_stack_ = nullptr;
+  const void* main_stack_bottom_ = nullptr;
+  size_t main_stack_size_ = 0;
+  void* main_tsan_fiber_ = nullptr;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_COMMON_FIBER_H_

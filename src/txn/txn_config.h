@@ -117,6 +117,11 @@ struct TxnStats {
   /// Doorbells rung: one per verb group issued together (a batch of N
   /// verbs is 1 doorbell; N sequential verbs are N).
   uint64_t doorbells = 0;
+  /// Fiber suspensions taken on the coordinator's behalf while its worker
+  /// thread overlapped this wait with other in-flight transactions (zero
+  /// when the driver runs without a fiber scheduler). Aggregated from the
+  /// per-thread schedulers, not counted by the coordinator itself.
+  uint64_t fiber_yields = 0;
   /// Times an enabled BugFlags deviation actually altered protocol
   /// behavior (a check skipped, a log omitted, an ordering relaxed). The
   /// litmus harness uses this to flag bug flags that were never exercised

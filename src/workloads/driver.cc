@@ -30,6 +30,34 @@ txn::Coordinator* Driver::SpawnCoordinator(uint32_t compute_index) {
   return coords_.back().get();
 }
 
+void Driver::RunSlotTxn(Slot* slot, Random* rng, uint64_t start_ns,
+                        LatencyHistogram* latency) {
+  txn::Coordinator* coord = slot->coord.load(std::memory_order_acquire);
+  const uint64_t txn_start_ns = NowNanos();
+  const Status status = workload_->RunTransaction(coord, rng);
+  if (status.ok()) {
+    const uint64_t end_ns = NowNanos();
+    latency->Record(end_ns - txn_start_ns);
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t bucket =
+        (end_ns - start_ns) / (config_.bucket_ms * 1'000'000);
+    if (bucket < bucket_commits_.size()) {
+      bucket_commits_[bucket]->fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (status.IsAborted() || status.IsBusy()) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsPermissionDenied()) {
+    // This node was fenced — usually a failure-detector false positive
+    // under CPU pressure (its process is alive). Rejoin it with fresh
+    // coordinator-ids instead of hammering revoked links.
+    crashed_.fetch_add(1, std::memory_order_relaxed);
+    RejoinFencedNode(slot->node);
+  } else if (status.IsUnavailable()) {
+    crashed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // NotFound / ResourceExhausted etc.: transaction-level no-ops.
+}
+
 void Driver::WorkerLoop(uint32_t worker_index, uint64_t start_ns,
                         uint64_t deadline_ns, LatencyHistogram* latency) {
   Random rng(config_.seed * 7919 + worker_index);
@@ -66,34 +94,97 @@ void Driver::WorkerLoop(uint32_t worker_index, uint64_t start_ns,
     }
     skipped = 0;
     slot->next_allowed_ns = now + config_.pace_us * 1000;
-    const uint64_t txn_start_ns = NowNanos();
-    const Status status = workload_->RunTransaction(coord, &rng);
-    if (status.ok()) {
-      const uint64_t end_ns = NowNanos();
-      latency->Record(end_ns - txn_start_ns);
-      committed_.fetch_add(1, std::memory_order_relaxed);
-      const uint64_t bucket =
-          (end_ns - start_ns) / (config_.bucket_ms * 1'000'000);
-      if (bucket < bucket_commits_.size()) {
-        bucket_commits_[bucket]->fetch_add(1, std::memory_order_relaxed);
-      }
-    } else if (status.IsAborted() || status.IsBusy()) {
-      aborted_.fetch_add(1, std::memory_order_relaxed);
-    } else if (status.IsPermissionDenied()) {
-      // This node was fenced — usually a failure-detector false positive
-      // under CPU pressure (its process is alive). Rejoin it with fresh
-      // coordinator-ids instead of hammering revoked links.
-      crashed_.fetch_add(1, std::memory_order_relaxed);
-      RejoinFencedNode(slot->node);
-    } else if (status.IsUnavailable()) {
-      crashed_.fetch_add(1, std::memory_order_relaxed);
-    }
-    // NotFound / ResourceExhausted etc.: transaction-level no-ops.
+    RunSlotTxn(slot, &rng, start_ns, latency);
   }
 }
 
+void Driver::FiberWorkerLoop(uint32_t worker_index, uint64_t start_ns,
+                             uint64_t deadline_ns,
+                             LatencyHistogram* latency,
+                             FiberScheduler::Stats* fiber_stats) {
+  // The worker's slots, partitioned over fibers_per_thread fibers. Each
+  // fiber round-robins its own subset, so a slot stays pinned to one
+  // fiber (and this one thread) for the whole run; the wait hook in
+  // SpinUntilNanos/SleepForMicros does the actual overlapping.
+  std::vector<Slot*> mine;
+  for (size_t i = worker_index; i < slots_.size();
+       i += config_.threads) {
+    mine.push_back(slots_[i].get());
+  }
+  if (mine.empty()) return;
+  const uint32_t fibers = static_cast<uint32_t>(
+      std::min<size_t>(config_.fibers_per_thread, mine.size()));
+
+  FiberScheduler scheduler;
+  for (uint32_t f = 0; f < fibers; ++f) {
+    std::vector<Slot*> owned;
+    for (size_t i = f; i < mine.size(); i += fibers) {
+      owned.push_back(mine[i]);
+    }
+    scheduler.Spawn([this, owned = std::move(owned), worker_index, f,
+                     start_ns, deadline_ns, latency] {
+      Random rng(config_.seed * 7919 + worker_index + 131 * (f + 1));
+      size_t next = 0;
+      size_t skipped = 0;
+      while (!stop_.load(std::memory_order_acquire)) {
+        const uint64_t now = NowNanos();
+        if (now >= deadline_ns) break;
+        Slot* slot = owned[next];
+        next = (next + 1) % owned.size();
+        txn::Coordinator* coord =
+            slot->coord.load(std::memory_order_acquire);
+        if (coord == nullptr || cluster_->fabric().IsHalted(slot->node)) {
+          if (++skipped >= owned.size()) {
+            skipped = 0;
+            SleepForMicros(50);  // Suspends this fiber, not the thread.
+          }
+          continue;
+        }
+        if (config_.pace_us > 0 && now < slot->next_allowed_ns) {
+          if (++skipped >= owned.size()) {
+            skipped = 0;
+            // Deadline-aware pacing: suspend until the earliest live slot
+            // becomes due instead of sleeping a fixed quantum.
+            uint64_t earliest = UINT64_MAX;
+            for (Slot* s : owned) {
+              if (s->coord.load(std::memory_order_acquire) == nullptr) {
+                continue;
+              }
+              earliest = std::min(earliest, s->next_allowed_ns);
+            }
+            if (earliest == UINT64_MAX) {
+              SleepForMicros(50);
+            } else {
+              SpinUntilNanos(
+                  std::min(std::max(earliest, now), deadline_ns));
+            }
+          }
+          continue;
+        }
+        skipped = 0;
+        slot->next_allowed_ns = now + config_.pace_us * 1000;
+        RunSlotTxn(slot, &rng, start_ns, latency);
+      }
+    });
+  }
+  scheduler.Run();
+  *fiber_stats = scheduler.stats();
+}
+
 void Driver::RejoinFencedNode(rdma::NodeId node) {
-  std::lock_guard<std::mutex> lock(rejoin_mu_);
+  // Not a blocking mutex: the holder may be a *fiber* suspended mid-
+  // rejoin on this very thread, and blocking the OS thread would prevent
+  // the holder from ever resuming (and locking a mutex twice from one
+  // thread is UB besides). The retry sleep goes through the fiber-aware
+  // SleepForMicros, so waiting fibers yield cooperatively while a plain
+  // thread degrades to a 200 µs-granularity lock.
+  while (rejoin_busy_.exchange(true, std::memory_order_acquire)) {
+    SleepForMicros(200);
+  }
+  struct Release {
+    std::atomic<bool>* busy;
+    ~Release() { busy->store(false, std::memory_order_release); }
+  } release{&rejoin_busy_};
   if (cluster_->fabric().IsHalted(node)) return;  // Genuinely crashed.
   // Let the (false-positive) recovery finish before restoring the links —
   // restoring earlier would violate Cor1.
@@ -185,10 +276,17 @@ DriverResult Driver::Run() {
 
   std::vector<std::thread> workers;
   std::vector<LatencyHistogram> latencies(config_.threads);
+  std::vector<FiberScheduler::Stats> fiber_stats(config_.threads);
   for (uint32_t w = 0; w < config_.threads; ++w) {
-    workers.emplace_back([this, w, start_ns, deadline_ns, &latencies] {
-      WorkerLoop(w, start_ns, deadline_ns, &latencies[w]);
-    });
+    workers.emplace_back(
+        [this, w, start_ns, deadline_ns, &latencies, &fiber_stats] {
+          if (config_.fibers_per_thread > 1) {
+            FiberWorkerLoop(w, start_ns, deadline_ns, &latencies[w],
+                            &fiber_stats[w]);
+          } else {
+            WorkerLoop(w, start_ns, deadline_ns, &latencies[w]);
+          }
+        });
   }
   std::thread fault_thread([this, start_ns] { FaultLoop(start_ns); });
 
@@ -212,6 +310,23 @@ DriverResult Driver::Run() {
   for (const LatencyHistogram& latency : latencies) {
     result.commit_latency.Merge(latency);
   }
+  result.latency_p50_ns = result.commit_latency.PercentileNanos(50);
+  result.latency_p95_ns = result.commit_latency.PercentileNanos(95);
+  result.latency_p99_ns = result.commit_latency.PercentileNanos(99);
+  for (const FiberScheduler::Stats& stats : fiber_stats) {
+    result.fiber_yields += stats.yields;
+    result.fiber_wait_ns += stats.wait_ns;
+    result.fiber_idle_ns += stats.idle_ns;
+  }
+  // Idle of zero means every simulated wait was hidden behind another
+  // fiber's work (perfect overlap), so divide by at-least-one nanosecond
+  // rather than falling back to "no overlap".
+  result.overlap_factor =
+      result.fiber_wait_ns > 0
+          ? static_cast<double>(result.fiber_wait_ns) /
+                static_cast<double>(
+                    std::max<uint64_t>(result.fiber_idle_ns, 1))
+          : 1.0;
   {
     std::lock_guard<std::mutex> lock(coords_mu_);
     for (const auto& coord : coords_) {
@@ -231,6 +346,7 @@ DriverResult Driver::Run() {
       result.totals.doorbells += stats.doorbells;
     }
   }
+  result.totals.fiber_yields = result.fiber_yields;
   return result;
 }
 

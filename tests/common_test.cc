@@ -9,6 +9,7 @@
 #include "common/checksum.h"
 #include "common/clock.h"
 #include "common/coding.h"
+#include "common/fiber.h"
 #include "common/fixed_bitset.h"
 #include "common/histogram.h"
 #include "common/random.h"
@@ -322,6 +323,157 @@ TEST(ClockTest, MonotonicAndSpin) {
   const uint64_t t1 = NowNanos();
   EXPECT_GE(t1 - t0, 100000u);
   EXPECT_GE(NowMicros(), t0 / 1000);
+}
+
+// ---------------------------------------------------------------- Fibers --
+
+TEST(FiberTest, RunsAllFibersToCompletion) {
+  FiberScheduler scheduler;
+  int ran = 0;
+  for (int i = 0; i < 8; ++i) {
+    scheduler.Spawn([&ran] { ++ran; });
+  }
+  EXPECT_EQ(scheduler.num_fibers(), 8u);
+  scheduler.Run();
+  EXPECT_EQ(ran, 8);
+  EXPECT_EQ(FiberScheduler::Active(), nullptr);
+}
+
+TEST(FiberTest, ActiveOnlyDuringRunAndOnlyOnThisThread) {
+  FiberScheduler scheduler;
+  FiberScheduler* seen_inside = nullptr;
+  FiberScheduler* seen_on_other_thread = &scheduler;  // Sentinel.
+  scheduler.Spawn([&] {
+    seen_inside = FiberScheduler::Active();
+    std::thread other(
+        [&] { seen_on_other_thread = FiberScheduler::Active(); });
+    other.join();
+  });
+  EXPECT_EQ(FiberScheduler::Active(), nullptr);
+  scheduler.Run();
+  EXPECT_EQ(seen_inside, &scheduler);
+  // The scheduler is thread-local: other threads (the litmus harness's
+  // slots, recovery threads) never see it, so the wait hook is inert
+  // there.
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+  EXPECT_EQ(FiberScheduler::Active(), nullptr);
+}
+
+TEST(FiberTest, ResumesInDeadlineOrderNotSpawnOrder) {
+  FiberScheduler scheduler;
+  const uint64_t base = NowNanos();
+  std::vector<int> order;
+  scheduler.Spawn([&] {
+    scheduler.WaitUntilNanos(base + 3'000'000);
+    order.push_back(3);
+  });
+  scheduler.Spawn([&] {
+    scheduler.WaitUntilNanos(base + 1'000'000);
+    order.push_back(1);
+  });
+  scheduler.Spawn([&] {
+    scheduler.WaitUntilNanos(base + 2'000'000);
+    order.push_back(2);
+  });
+  scheduler.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.stats().yields, 3u);
+}
+
+TEST(FiberTest, EqualDeadlinesResumeFifo) {
+  FiberScheduler scheduler;
+  const uint64_t deadline = NowNanos();  // Already due: pure tie-break.
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    scheduler.Spawn([&, i] {
+      scheduler.WaitUntilNanos(deadline);
+      order.push_back(i);
+    });
+  }
+  scheduler.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(FiberTest, WaitNeverResumesBeforeDeadline) {
+  FiberScheduler scheduler;
+  bool checked = false;
+  scheduler.Spawn([&] {
+    const uint64_t deadline = NowNanos() + 500'000;  // 500 us.
+    SpinUntilNanos(deadline);  // Routed through the wait hook.
+    EXPECT_GE(NowNanos(), deadline);
+    checked = true;
+  });
+  scheduler.Run();
+  EXPECT_TRUE(checked);
+  // A single fiber has nothing to overlap with: the scheduler idled the
+  // full wait and counted it.
+  EXPECT_GE(scheduler.stats().idle_ns, 400'000u);
+  EXPECT_GE(scheduler.stats().wait_ns, 400'000u);
+}
+
+TEST(FiberTest, SpinAndSleepHooksSuspendInsteadOfBlocking) {
+  // Two fibers wait 1 ms each through the public clock entry points; with
+  // overlap the pair completes in well under the 2 ms a blocking
+  // implementation needs. Generous ceiling for sanitizer/CI jitter.
+  FiberScheduler scheduler;
+  scheduler.Spawn([] { SpinForNanos(1'000'000); });
+  scheduler.Spawn([] { SleepForMicros(1000); });
+  const uint64_t start = NowNanos();
+  scheduler.Run();
+  const uint64_t elapsed = NowNanos() - start;
+  EXPECT_GE(elapsed, 1'000'000u);
+  EXPECT_LT(elapsed, 1'900'000u);
+  EXPECT_EQ(scheduler.stats().yields, 2u);
+  // Both 1 ms waits were paid for by ~1 ms of true idling: overlap ~2x.
+  EXPECT_GT(scheduler.stats().wait_ns,
+            scheduler.stats().idle_ns + 500'000u);
+}
+
+TEST(FiberTest, NoRunnableFiberFallsBackToIdleSpin) {
+  // One fiber far in the future, one ready now: the scheduler must run
+  // the ready one first, then idle-spin until the far deadline rather
+  // than busy-resume anyone early.
+  FiberScheduler scheduler;
+  uint64_t far_resumed_at = 0;
+  uint64_t far_deadline = 0;
+  scheduler.Spawn([&] {
+    far_deadline = NowNanos() + 2'000'000;
+    scheduler.WaitUntilNanos(far_deadline);
+    far_resumed_at = NowNanos();
+  });
+  bool near_ran = false;
+  scheduler.Spawn([&] { near_ran = true; });
+  scheduler.Run();
+  EXPECT_TRUE(near_ran);
+  EXPECT_GE(far_resumed_at, far_deadline);
+  EXPECT_GT(scheduler.stats().idle_ns, 0u);
+}
+
+TEST(FiberTest, ManySwitchesAreStable) {
+  // Ping-pong two fibers through thousands of switches to shake out
+  // stack/context corruption (and give the sanitizer annotations a real
+  // workout under ASan/TSan CI).
+  FiberScheduler scheduler;
+  uint64_t counter = 0;
+  for (int f = 0; f < 2; ++f) {
+    scheduler.Spawn([&] {
+      for (int i = 0; i < 2000; ++i) {
+        ++counter;
+        scheduler.WaitUntilNanos(0);  // Immediately ready: pure yield.
+      }
+    });
+  }
+  scheduler.Run();
+  EXPECT_EQ(counter, 4000u);
+  EXPECT_EQ(scheduler.stats().yields, 4000u);
+}
+
+TEST(FiberTest, HookInertOutsideFibers) {
+  // SpinUntilNanos on a plain thread (no scheduler installed) must behave
+  // exactly as before fibers existed.
+  const uint64_t t0 = NowNanos();
+  SpinForNanos(200'000);
+  EXPECT_GE(NowNanos() - t0, 200'000u);
 }
 
 }  // namespace

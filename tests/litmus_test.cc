@@ -4,6 +4,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/fiber.h"
 #include "litmus/checker.h"
 #include "litmus/harness.h"
 #include "litmus/litmus_spec.h"
@@ -509,6 +510,44 @@ TEST(LitmusScheduleTest, ViolatingScheduleReplaysIdentically) {
   EXPECT_EQ(replay.violation_explanations[0],
             first.violation_explanations[0]);
   EXPECT_EQ(replay.schedule_noops, 0);
+}
+
+// The fiber scheduler must be inert for the litmus framework: a hunt run
+// from inside an active FiberScheduler (the wait hook armed on the
+// calling thread) must produce byte-identical violation traces and
+// explanations to a plain run. The harness's slot threads never install a
+// scheduler, and the thread-local hook must not leak across threads.
+TEST(LitmusScheduleTest, TracesByteIdenticalUnderActiveFiberScheduler) {
+  txn::BugFlags bugs;
+  bugs.lost_decision = true;
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kFordBaseline;
+  config.txn.bugs = bugs;
+  config.schedule = SchedulePolicy::kExhaustive;
+  config.iterations = 120;
+  config.stop_after_violations = 1;
+
+  LitmusHarness plain(config);
+  const LitmusReport plain_report = plain.Run(Litmus3AbortLogging());
+  ASSERT_GT(plain_report.violations, 0);
+  ASSERT_FALSE(plain_report.violation_traces.empty());
+
+  LitmusReport fiber_report;
+  FiberScheduler scheduler;
+  scheduler.Spawn([&] {
+    LitmusHarness fibered(config);
+    fiber_report = fibered.Run(Litmus3AbortLogging());
+  });
+  scheduler.Run();
+  ASSERT_GT(fiber_report.violations, 0);
+  ASSERT_EQ(fiber_report.violation_traces.size(),
+            plain_report.violation_traces.size());
+  EXPECT_EQ(fiber_report.violation_traces[0],
+            plain_report.violation_traces[0]);
+  EXPECT_EQ(fiber_report.violation_explanations[0],
+            plain_report.violation_explanations[0]);
+  EXPECT_EQ(fiber_report.schedules_planned,
+            plain_report.schedules_planned);
 }
 
 // Exhaustive mode on a single-transaction spec must crash at *every*

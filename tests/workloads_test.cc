@@ -293,6 +293,142 @@ TEST_F(WorkloadsTest, DriverSurvivesComputeCrashAndRestart) {
   EXPECT_GT(tail, 0.0);
 }
 
+// ------------------------------------------------------- Fiber driver --
+
+// Sanitizer instrumentation inflates per-txn CPU cost ~10x, which would
+// CPU-bind the overlapped runs on small test machines and compress the
+// speedup; scale the simulated network latency up with it so waits keep
+// dominating CPU and overlap stays measurable, and relax the floor for
+// loaded single-core CI runners.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitizerBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitizerBuild = true;
+#else
+constexpr bool kSanitizerBuild = false;
+#endif
+#else
+constexpr bool kSanitizerBuild = false;
+#endif
+constexpr double kMinFiberSpeedup = kSanitizerBuild ? 1.5 : 2.0;
+constexpr uint64_t kFiberTestOneWayNs = kSanitizerBuild ? 50'000 : 5'000;
+
+TEST_F(WorkloadsTest, DriverFibersOverlapSimulatedLatency) {
+  // The tentpole acceptance check: under a 5 µs one-way simulated
+  // latency (scaled up with sanitizer CPU inflation, see above),
+  // 8 fibers/thread must commit at least 2x what 1 fiber/thread does —
+  // the paper's coordinators-per-core scaling lever — while the
+  // per-transaction round-trip accounting stays unchanged (overlap must
+  // reclaim CPU time, never simulated time).
+  MicroConfig config;
+  config.num_keys = 20'000;
+  config.write_percent = 100;
+  config.ops_per_txn = 2;
+  MicroWorkload micro(config);
+  cluster::ClusterConfig cluster_config = TestClusterConfig();
+  cluster_config.net.one_way_ns = kFiberTestOneWayNs;
+  cluster_ = std::make_unique<cluster::Cluster>(cluster_config);
+  ASSERT_TRUE(micro.Setup(cluster_.get()).ok());
+  manager_ = std::make_unique<recovery::RecoveryManager>(
+      cluster_.get(), TestRmConfig(), &gate_);
+  manager_->Start();
+
+  auto run = [&](uint32_t fibers) {
+    DriverConfig driver_config;
+    driver_config.threads = 2;
+    driver_config.coordinators = 16;
+    driver_config.duration_ms = 300;
+    driver_config.bucket_ms = 50;
+    driver_config.fibers_per_thread = fibers;
+    Driver driver(cluster_.get(), manager_.get(), &gate_, &micro,
+                  driver_config);
+    return driver.Run();
+  };
+
+  const DriverResult base = run(1);
+  const DriverResult fibered = run(8);
+  ASSERT_GT(base.committed, 100u);
+  EXPECT_GE(static_cast<double>(fibered.committed),
+            kMinFiberSpeedup * static_cast<double>(base.committed))
+      << "1 fiber: " << base.committed << ", 8 fibers: "
+      << fibered.committed;
+
+  // Overlap must not alter simulated-time accounting: the round trips a
+  // committed transaction waits out are identical in both modes (small
+  // tolerance for the abort mix shifting the per-committed ratio).
+  const auto per_committed = [](const DriverResult& r, uint64_t rtts) {
+    return static_cast<double>(rtts) /
+           static_cast<double>(std::max<uint64_t>(r.totals.committed, 1));
+  };
+  EXPECT_NEAR(per_committed(base, base.totals.execution_rtts),
+              per_committed(fibered, fibered.totals.execution_rtts),
+              0.1 * per_committed(base, base.totals.execution_rtts));
+  EXPECT_NEAR(per_committed(base, base.totals.commit_rtts),
+              per_committed(fibered, fibered.totals.commit_rtts),
+              0.1 * per_committed(base, base.totals.commit_rtts));
+
+  // The blocking run never yields; the fiber run overlaps its waits.
+  EXPECT_EQ(base.fiber_yields, 0u);
+  EXPECT_EQ(base.totals.fiber_yields, 0u);
+  EXPECT_GT(fibered.fiber_yields, 0u);
+  EXPECT_EQ(fibered.totals.fiber_yields, fibered.fiber_yields);
+  EXPECT_GT(fibered.overlap_factor, 1.5);
+  // Percentiles are wired through for every run.
+  EXPECT_GT(base.latency_p50_ns, 0u);
+  EXPECT_GE(base.latency_p95_ns, base.latency_p50_ns);
+  EXPECT_GE(base.latency_p99_ns, base.latency_p95_ns);
+}
+
+TEST_F(WorkloadsTest, FiberDriverSurvivesComputeCrashAndRestart) {
+  MicroConfig config;
+  config.num_keys = 500;
+  MicroWorkload micro(config);
+  Start(&micro);
+
+  DriverConfig driver_config;
+  driver_config.threads = 2;
+  driver_config.coordinators = 8;
+  driver_config.duration_ms = 500;
+  driver_config.bucket_ms = 50;
+  driver_config.fibers_per_thread = 4;
+  Driver driver(cluster_.get(), manager_.get(), &gate_, &micro,
+                driver_config);
+  driver.AddFault({FaultEvent::Kind::kComputeCrash, 150, 0});
+  driver.AddFault({FaultEvent::Kind::kComputeRestart, 300, 0});
+  const DriverResult result = driver.Run();
+  EXPECT_GT(result.committed, 50u);
+  double tail = 0;
+  for (size_t b = 6; b < result.timeline_mtps.size(); ++b) {
+    tail += result.timeline_mtps[b];
+  }
+  EXPECT_GT(tail, 0.0);
+}
+
+TEST_F(WorkloadsTest, FiberDriverHonorsPacing) {
+  // Deadline-aware pacing: a paced fiber suspends until its earliest slot
+  // is due, and the pacing budget still caps throughput.
+  MicroConfig config;
+  config.num_keys = 1000;
+  MicroWorkload micro(config);
+  Start(&micro);
+
+  DriverConfig driver_config;
+  driver_config.threads = 2;
+  driver_config.coordinators = 8;
+  driver_config.duration_ms = 200;
+  driver_config.bucket_ms = 50;
+  driver_config.pace_us = 500;
+  driver_config.fibers_per_thread = 4;
+  Driver driver(cluster_.get(), manager_.get(), &gate_, &micro,
+                driver_config);
+  const DriverResult result = driver.Run();
+  // 8 coordinators x (200 ms / 500 us) = 3200 paced starts, plus one
+  // immediate start each; aborts only lower the committed count.
+  EXPECT_GT(result.committed, 100u);
+  EXPECT_LE(result.committed, 8u * (200'000u / 500u) + 8u);
+}
+
 TEST_F(WorkloadsTest, DriverSurvivesMemoryCrash) {
   MicroConfig config;
   config.num_keys = 500;
