@@ -36,11 +36,20 @@ struct CoverageRow {
   int covered = 0;
   int violations = 0;
   double schedules_per_sec = 0;
+  // kVerbExhaustive only: contested-window size and verb-order coverage.
+  int verb_window = 0;
+  int verb_orders_explored = 0;
+  int verb_orders_pruned = 0;
+  int verb_kills = 0;
+  int verb_diverged = 0;
 };
 
 CoverageRow Explore(const litmus::LitmusSpec& spec, bool compound,
-                    int runs_per_txn) {
+                    int runs_per_txn,
+                    litmus::SchedulePolicy policy =
+                        litmus::SchedulePolicy::kExhaustive) {
   litmus::HarnessConfig config = ExploreConfig();
+  config.schedule = policy;
   config.txn.mode = txn::ProtocolMode::kPandora;
   config.runs_per_txn = runs_per_txn;
   config.compound_rc_fault = compound;
@@ -63,6 +72,11 @@ CoverageRow Explore(const litmus::LitmusSpec& spec, bool compound,
   }
   row.schedules_per_sec =
       elapsed_us > 0 ? report.iterations * 1e6 / elapsed_us : 0;
+  row.verb_window = report.verb_window;
+  row.verb_orders_explored = report.verb_orders_explored;
+  row.verb_orders_pruned = report.verb_orders_pruned;
+  row.verb_kills = report.verb_kills_injected;
+  row.verb_diverged = report.verb_schedules_diverged;
   return row;
 }
 
@@ -74,6 +88,14 @@ void PrintCoverageRow(const char* label, const CoverageRow& row) {
               row.violations);
 }
 
+void PrintVerbRow(const char* label, const CoverageRow& row) {
+  std::printf("%-28s window %2d verbs  orders %3d explored / %3d pruned  "
+              "%2d kills  %2d diverged  %5.1f schedules/s\n",
+              label, row.verb_window, row.verb_orders_explored,
+              row.verb_orders_pruned, row.verb_kills, row.verb_diverged,
+              row.schedules_per_sec);
+}
+
 void AddCoverageMetrics(BenchJson* json, const std::string& prefix,
                         const CoverageRow& row) {
   json->Set(prefix + ".schedules", row.schedules);
@@ -82,6 +104,15 @@ void AddCoverageMetrics(BenchJson* json, const std::string& prefix,
   json->Set(prefix + ".points_covered", row.covered);
   json->Set(prefix + ".noops", row.noops);
   json->Set(prefix + ".violations", row.violations);
+}
+
+void AddVerbMetrics(BenchJson* json, const std::string& prefix,
+                    const CoverageRow& row) {
+  json->Set(prefix + ".verb_window", row.verb_window);
+  json->Set(prefix + ".verb_orders_explored", row.verb_orders_explored);
+  json->Set(prefix + ".verb_orders_pruned", row.verb_orders_pruned);
+  json->Set(prefix + ".verb_kills", row.verb_kills);
+  json->Set(prefix + ".verb_diverged", row.verb_diverged);
 }
 
 }  // namespace
@@ -125,6 +156,18 @@ int main() {
               /*runs_per_txn=*/1);
   PrintCoverageRow("litmus-single+compound", compound);
   AddCoverageMetrics(&json, "single_compound", compound);
+
+  std::printf("--- verb-order exploration (kVerbExhaustive) ---\n");
+  for (const SpecCase& spec_case : cases) {
+    const CoverageRow row =
+        Explore(spec_case.spec, /*compound=*/false,
+                spec_case.runs_per_txn,
+                litmus::SchedulePolicy::kVerbExhaustive);
+    PrintVerbRow(spec_case.label, row);
+    const std::string key = std::string(spec_case.key) + "_verb";
+    AddCoverageMetrics(&json, key, row);
+    AddVerbMetrics(&json, key, row);
+  }
 
   json.Write();
   return 0;

@@ -1,10 +1,11 @@
 // Reproduces Table 1 (§5.1): the litmus-testing framework's bug findings.
 // For each of the six FORD bugs, the corresponding bug switch is enabled
-// and the framework must flag a strict-serializability violation — four
-// via exhaustive crash-schedule enumeration (deterministic, one pass),
-// two via the randomized sampler (intra-phase races the lockstep
-// rendezvous cannot order). With the fixes in place (all switches off),
-// every litmus test passes under randomized crash injection.
+// and the framework must flag a strict-serializability violation — all
+// deterministically, in one pass: four via exhaustive crash-schedule
+// enumeration, two via verb-order exploration (kVerbExhaustive, for the
+// intra-phase races the lockstep rendezvous cannot order). With the
+// fixes in place (all switches off), every litmus test passes under
+// randomized crash injection.
 
 #include <cstdio>
 
@@ -39,44 +40,32 @@ struct BugCase {
   litmus::LitmusSpec spec;
   uint32_t crash_percent;
   uint64_t seed;
-  /// kExhaustive hunts deterministically (one pass, lockstep rendezvous);
-  /// kRandom bugs need sampled interleavings, fresh-seeded per batch.
-  litmus::SchedulePolicy policy = litmus::SchedulePolicy::kRandom;
+  /// kExhaustive hunts via crash-point enumeration; kVerbExhaustive adds
+  /// verb-order exploration for intra-phase races. Both are one
+  /// deterministic pass.
+  litmus::SchedulePolicy policy = litmus::SchedulePolicy::kExhaustive;
   int runs_per_txn = 2;
-  /// Randomized hunts for intra-phase races widen the race window with a
-  /// slower network (see tests/litmus_test.cc, ComplicitAbortCaught).
-  uint64_t one_way_ns = 1500;
 };
 
 void RunBugCase(const BugCase& bug_case) {
-  constexpr int kMaxBatches = 8;
-  int iterations_used = 0;
-  const int batches =
-      bug_case.policy == litmus::SchedulePolicy::kExhaustive ? 1 : kMaxBatches;
-  for (int batch = 0; batch < batches; ++batch) {
-    litmus::HarnessConfig config = BaseConfig();
-    config.txn.mode = bug_case.mode;
-    config.txn.bugs = bug_case.flags;
-    config.iterations = 120;
-    config.crash_percent = bug_case.crash_percent;
-    config.seed = bug_case.seed + static_cast<uint64_t>(batch) * 101;
-    config.schedule = bug_case.policy;
-    config.runs_per_txn = bug_case.runs_per_txn;
-    config.net.one_way_ns = bug_case.one_way_ns;
-    if (bug_case.policy == litmus::SchedulePolicy::kExhaustive) {
-      config.stop_after_violations = 1;
-    }
-    litmus::LitmusHarness harness(config);
-    const litmus::LitmusReport report = harness.Run(bug_case.spec);
-    iterations_used += report.iterations;
-    if (report.violations > 0) {
-      std::printf("%-12s %-26s %-4s CAUGHT after %5d iterations: %s\n",
-                  bug_case.litmus, bug_case.bug, bug_case.category,
-                  iterations_used,
-                  report.failures.empty() ? "(violation)"
-                                          : report.failures[0].c_str());
-      return;
-    }
+  litmus::HarnessConfig config = BaseConfig();
+  config.txn.mode = bug_case.mode;
+  config.txn.bugs = bug_case.flags;
+  config.iterations = 120;
+  config.crash_percent = bug_case.crash_percent;
+  config.seed = bug_case.seed;
+  config.schedule = bug_case.policy;
+  config.runs_per_txn = bug_case.runs_per_txn;
+  config.stop_after_violations = 1;
+  litmus::LitmusHarness harness(config);
+  const litmus::LitmusReport report = harness.Run(bug_case.spec);
+  if (report.violations > 0) {
+    std::printf("%-12s %-26s %-4s CAUGHT after %5d iterations: %s\n",
+                bug_case.litmus, bug_case.bug, bug_case.category,
+                report.iterations,
+                report.failures.empty() ? "(violation)"
+                                        : report.failures[0].c_str());
+    return;
   }
   std::printf("%-12s %-26s %-4s NOT reproduced within budget\n",
               bug_case.litmus, bug_case.bug, bug_case.category);
@@ -131,20 +120,20 @@ int main() {
 
   flags = {};
   flags.complicit_abort = true;
-  // Intra-phase three-party CAS race: stays randomized (the lockstep
-  // rendezvous cannot order it — see ROADMAP.md) with the tuned wide-window
-  // parameters: 6 us one-way latency, 3 runs per slot.
+  // Intra-phase three-party CAS race: needs verb-order exploration (the
+  // lockstep rendezvous cannot order it — see DESIGN.md).
   RunBugCase({"litmus-1", "Complicit Aborts", "C1",
               txn::ProtocolMode::kPandora, flags,
               litmus::Litmus1LockRelease(), 0, 7,
-              litmus::SchedulePolicy::kRandom, /*runs_per_txn=*/3,
-              /*one_way_ns=*/6000});
+              litmus::SchedulePolicy::kVerbExhaustive,
+              /*runs_per_txn=*/3});
 
   flags = {};
   flags.missing_insert_logging = true;
   RunBugCase({"litmus-1", "Missing Actions (inserts)", "C2",
               txn::ProtocolMode::kFordBaseline, flags,
-              litmus::Litmus1Inserts(), 100, 17});
+              litmus::Litmus1Inserts(), 100, 17,
+              litmus::SchedulePolicy::kVerbExhaustive});
 
   flags = {};
   flags.covert_locks = true;
@@ -168,12 +157,13 @@ int main() {
   flags = {};
   flags.logging_without_locking = true;
   flags.lost_decision = true;
-  // runs_per_txn = 1: a second run on the same slot re-locks the row and
-  // closes the guilty unlocked-log window (see tests/litmus_test.cc).
+  // The guilty unlocked-log window only stays open for a single run per
+  // slot; kVerbExhaustive explores run count 1 automatically, so no
+  // manual runs_per_txn knob (see tests/litmus_test.cc).
   RunBugCase({"litmus-3", "Logging without locking", "C2",
               txn::ProtocolMode::kFordBaseline, flags,
               litmus::Litmus1PartialOverlap(), 100, 23,
-              litmus::SchedulePolicy::kExhaustive, /*runs_per_txn=*/1});
+              litmus::SchedulePolicy::kVerbExhaustive});
 
   return 0;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
+#include <map>
+#include <set>
 #include <thread>
 
 #include "cluster/cluster.h"
@@ -203,6 +206,14 @@ struct IterationResult {
   int sync_timeouts = 0;
   // Crash points visited, per [slot][run], from the recorder hooks.
   std::vector<std::vector<std::vector<txn::CrashPoint>>> visits;
+  // Verb-controller harvest (iterations that installed one): the applied
+  // mutating-token stream, which slot a verb-kill halted (-1 none),
+  // whether an enforced order proved unrealizable, and how many injected
+  // bugs the iteration's coordinators actually exercised.
+  std::vector<VerbToken> applied_verbs;
+  int verb_killed_slot = -1;
+  bool verb_diverged = false;
+  uint64_t bug_injections = 0;
 };
 
 // Per-spec deployment: one simulated DKVS shared by every iteration of
@@ -238,15 +249,21 @@ struct SpecRun {
     return cluster_config;
   }
 
-  SpecRun(const HarnessConfig& config_in, const LitmusSpec& spec_in)
+  // `runs_override` > 0 replaces config.runs_per_txn (kVerbExhaustive
+  // explores both 1 and the configured count). `phase_budget_multiplier`
+  // scales the iteration budget for policies that run several exploration
+  // phases against the same deployment.
+  SpecRun(const HarnessConfig& config_in, const LitmusSpec& spec_in,
+          int runs_override = 0, int phase_budget_multiplier = 1)
       : config(config_in),
         spec(spec_in),
         num_txns(static_cast<uint32_t>(spec_in.txns.size())),
         compute_nodes(num_txns + 1),  // +1 observer node
-        runs(std::max(1, config_in.runs_per_txn)),
+        runs(runs_override > 0 ? runs_override
+                               : std::max(1, config_in.runs_per_txn)),
         // Iteration budget plus minimizer replays (at most 10 reported
         // violations are shrunk) plus slack.
-        max_iterations(config_in.iterations +
+        max_iterations(phase_budget_multiplier * config_in.iterations +
                        10 * (std::max(0, config_in.minimize_budget) + 1) +
                        8),
         cluster(MakeClusterConfig(config_in, num_txns + 1,
@@ -295,6 +312,7 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
   const int iteration = next_iteration++;
   out->iteration = iteration;
   out->executed.sync = schedule.sync;
+  out->executed.runs = runs;
 
   // Lazily preload this iteration's copy of the initialized variables.
   for (Var v = 0; v < spec.initial.size(); ++v) {
@@ -342,6 +360,56 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
     }
   }
 
+  // Verb-level scheduling: install a fabric hook that records the
+  // iteration's mutating-verb stream and/or enforces a candidate verb
+  // order (and verb-kill) from the schedule. Unit identity is the litmus
+  // variable: each variable's hash-table slot is predicted with the same
+  // linear probe the store uses (the key's slot if present, else the
+  // first free slot an insert will claim), probed on one replica —
+  // offsets are replica-invariant, so one [lo, hi) range covers every
+  // copy of the word cluster.
+  const bool want_verbs = schedule.record_verbs ||
+                          !schedule.verb_order.empty() ||
+                          schedule.has_verb_kill;
+  std::unique_ptr<VerbOrderController> verb_ctl;
+  if (want_verbs) {
+    VerbOrderController::Options opts;
+    opts.fabric = &cluster.fabric();
+    for (uint32_t t = 0; t < num_txns; ++t) {
+      opts.slot_nodes.push_back(cluster.compute_node_id(t));
+    }
+    const cluster::TableInfo& info = cluster.catalog().table(table);
+    for (const rdma::RKey rkey : info.region_rkeys) {
+      if (rkey != rdma::kInvalidRKey) opts.data_rkeys.push_back(rkey);
+    }
+    for (Var v = 0; v < spec.initial.size(); ++v) {
+      const store::Key key = VarKey(iteration, v);
+      const std::vector<rdma::NodeId> replicas =
+          cluster.ReplicasFor(table, key);
+      PANDORA_CHECK(!replicas.empty());
+      rdma::ProtectionDomain* pd =
+          cluster.fabric().GetMemoryNode(replicas[0]);
+      rdma::MemoryRegion* region =
+          pd->GetRegion(info.region_rkeys[replicas[0]]);
+      uint64_t slot = info.layout.HomeSlot(HashKey(key));
+      for (uint64_t scanned = 0; scanned < info.layout.capacity();
+           ++scanned) {
+        const uint64_t slot_key =
+            DecodeFixed64(region->base() + info.layout.KeyOffset(slot));
+        if (slot_key == key || slot_key == store::kFreeKey) break;
+        slot = info.layout.NextSlot(slot);
+      }
+      opts.unit_ranges.emplace_back(
+          info.layout.SlotOffset(slot),
+          info.layout.SlotOffset(slot) + info.layout.slot_size());
+    }
+    opts.order = schedule.verb_order;
+    opts.has_kill = schedule.has_verb_kill;
+    opts.kill = schedule.verb_kill;
+    verb_ctl = std::make_unique<VerbOrderController>(std::move(opts));
+    cluster.fabric().set_verb_hook(verb_ctl.get());
+  }
+
   // Compound: a one-shot recovery-coordinator death; the manager restarts
   // the RC and re-runs recovery (idempotent, §3.2.3).
   std::atomic<int> rc_deaths{0};
@@ -367,6 +435,9 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
       bool retired = false;
       for (int r = 0; r < runs; ++r) {
         if (hooks[t] != nullptr) hooks[t]->BeginRun(r);
+        if (verb_ctl != nullptr) {
+          verb_ctl->BeginRun(static_cast<int>(t), r);
+        }
         ExecuteProgram(coords[t].get(), spec.txns[t], iteration, table,
                        &observations[static_cast<size_t>(r) * num_txns +
                                      t]);
@@ -382,6 +453,34 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
   go.store(true, std::memory_order_release);
   for (auto& thread : threads) thread.join();
   out->sync_timeouts = lockstep.timeouts();
+
+  // Verb-controller harvest. Release any verb still parked (recovery
+  // traffic is never held, but an unrealizable order may leave the slots'
+  // last verbs waiting), then uninstall — set_verb_hook(nullptr) drains
+  // in-flight callbacks, after which the controller is safe to read and
+  // destroy. The applied stream becomes the executed trace's verb order,
+  // so a violating iteration replays with its full window enforced.
+  if (verb_ctl != nullptr) {
+    verb_ctl->ReleaseAll();
+    cluster.fabric().set_verb_hook(nullptr);
+    out->applied_verbs = verb_ctl->applied();
+    out->verb_killed_slot = verb_ctl->killed_slot();
+    out->verb_diverged = verb_ctl->diverged();
+    out->executed.verb_order = out->applied_verbs;
+    if (schedule.has_verb_kill) {
+      if (out->verb_killed_slot >= 0) {
+        out->executed.has_verb_kill = true;
+        out->executed.verb_kill = schedule.verb_kill;
+        if (record) report->verb_kills_injected++;
+      } else {
+        out->noop = true;  // Planned kill verb was never issued.
+      }
+    }
+    if (out->verb_diverged) {
+      out->noop = true;  // Enforced order proved unrealizable.
+      if (record) report->verb_schedules_diverged++;
+    }
+  }
 
   // Harvest the recorders: visited-point traces, resolved crashes,
   // injection no-ops.
@@ -435,7 +534,10 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
   // Wait for detection + recovery of every crashed slot before observing.
   bool recovery_timed_out = false;
   for (uint32_t t = 0; t < num_txns && !recovery_timed_out; ++t) {
-    if (hooks[t] == nullptr || !hooks[t]->fired()) continue;
+    const bool crashed =
+        (hooks[t] != nullptr && hooks[t]->fired()) ||
+        out->verb_killed_slot == static_cast<int>(t);
+    if (!crashed) continue;
     if (!manager->WaitForComputeRecovery(cluster.compute_node_id(t),
                                          5'000'000,
                                          recoveries_before[t])) {
@@ -538,11 +640,10 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
     }
   }
 
-  if (record) {
-    for (uint32_t t = 0; t < num_txns; ++t) {
-      report->bug_injections += coords[t]->stats().bug_injections;
-    }
+  for (uint32_t t = 0; t < num_txns; ++t) {
+    out->bug_injections += coords[t]->stats().bug_injections;
   }
+  if (record) report->bug_injections += out->bug_injections;
 
   // End of iteration: wait for any in-flight (possibly false-positive)
   // recoveries, then restore every compute node's links and rebuild a
@@ -599,13 +700,13 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
   LitmusReport report;
   report.spec_name = spec.name;
 
-  SpecRun run(config_, spec);
-
   // Delta-debugging: greedily drop schedule components (memory kill, RC
-  // fault, individual crash directives), keeping a candidate only when
+  // fault, individual crash directives, the verb kill, the verb order —
+  // cleared, then halved from the tail), keeping a candidate only when
   // the reduced schedule still reproduces a violation, then replay the
   // final schedule once to confirm determinism.
-  auto minimize = [&](const IterationResult& result) -> std::string {
+  auto minimize = [&](SpecRun& run,
+                      const IterationResult& result) -> std::string {
     if (config_.minimize_budget <= 0) return "";
     CrashSchedule best = result.executed;
     int budget = config_.minimize_budget;
@@ -632,6 +733,22 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
                               static_cast<long>(i));
       if (reproduces(candidate)) best = candidate;
     }
+    if (best.has_verb_kill) {
+      CrashSchedule candidate = best;
+      candidate.has_verb_kill = false;
+      if (reproduces(candidate)) best = candidate;
+    }
+    if (!best.verb_order.empty()) {
+      CrashSchedule candidate = best;
+      candidate.verb_order.clear();
+      if (reproduces(candidate)) best = candidate;
+    }
+    while (best.verb_order.size() > 1) {
+      CrashSchedule candidate = best;
+      candidate.verb_order.resize(candidate.verb_order.size() / 2);
+      if (!reproduces(candidate)) break;
+      best = candidate;
+    }
     const bool confirmed = reproduces(best);
     return " | minimal repro: spec=" + spec.name +
            " seed=" + std::to_string(config_.seed) + " schedule={" +
@@ -640,7 +757,7 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
                       : " (not re-confirmed; may be timing-dependent)");
   };
 
-  auto execute = [&](const CrashSchedule& schedule) {
+  auto execute = [&](SpecRun& run, const CrashSchedule& schedule) {
     IterationResult result;
     run.RunIteration(schedule, &report, /*record=*/true, &result);
     if (result.noop) report.schedule_noops++;
@@ -652,7 +769,7 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
       if (report.failures.size() < 10) {
         report.failures.push_back(
             "iteration " + std::to_string(result.iteration) + ": " +
-            result.explanation + minimize(result));
+            result.explanation + minimize(run, result));
       }
     }
     return result;
@@ -662,8 +779,209 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
            report.violations >= config_.stop_after_violations;
   };
 
+  // Bounded crash-point model checking (the kExhaustive body, shared by
+  // kVerbExhaustive as its first phase).
+  auto crash_point_exhaustive = [&](SpecRun& run) {
+    // Profiling iteration: lockstep, no crash. Records the reachable
+    // (slot, run, point, occurrence) tuples that bound the enumeration
+    // — and doubles as the no-crash litmus check (lockstep alone
+    // surfaces ordering bugs like covert/relaxed locks).
+    CrashSchedule profile_schedule;
+    profile_schedule.sync = SyncMode::kLockstep;
+    report.schedules_planned++;
+    const IterationResult profile = execute(run, profile_schedule);
+
+    std::vector<CrashSchedule> worklist;
+    for (uint32_t t = 0; t < run.num_txns; ++t) {
+      if (t >= profile.visits.size()) break;
+      for (size_t r = 0; r < profile.visits[t].size(); ++r) {
+        std::vector<int> counts(txn::kNumCrashPoints, 0);
+        for (const txn::CrashPoint point : profile.visits[t][r]) {
+          counts[static_cast<int>(point)]++;
+        }
+        for (int p = 0; p < txn::kNumCrashPoints; ++p) {
+          for (int occ = 1; occ <= counts[p]; ++occ) {
+            CrashSchedule schedule;
+            schedule.sync = SyncMode::kLockstep;
+            CrashDirective crash;
+            crash.slot = static_cast<int>(t);
+            crash.run = static_cast<int>(r);
+            crash.point = static_cast<txn::CrashPoint>(p);
+            crash.occurrence = occ;
+            schedule.crashes.push_back(crash);
+            worklist.push_back(schedule);
+            if (config_.compound_rc_fault) {
+              CrashSchedule compound = schedule;
+              compound.rc_fault = true;
+              worklist.push_back(compound);
+            }
+            if (config_.compound_memory_kill) {
+              CrashSchedule compound = schedule;
+              compound.kill_memory_node = static_cast<int>(
+                  worklist.size() % config_.memory_nodes);
+              worklist.push_back(compound);
+            }
+          }
+        }
+      }
+    }
+    report.schedules_planned += static_cast<int>(worklist.size());
+
+    int budget = config_.iterations - 1;  // profiling consumed one
+    for (size_t i = 0; i < worklist.size() && !should_stop(); ++i) {
+      if (budget-- <= 0) {
+        report.schedules_skipped += static_cast<int>(worklist.size() - i);
+        PANDORA_LOG(kWarning)
+            << "litmus: schedule enumeration truncated, "
+            << (worklist.size() - i) << " of " << worklist.size()
+            << " schedules skipped (raise HarnessConfig::iterations)";
+        break;
+      }
+      execute(run, worklist[i]);
+    }
+  };
+
+  // kVerbExhaustive phase two: bounded-DPOR exploration of the contested
+  // verb window.
+  auto verb_explore = [&](SpecRun& run) {
+    constexpr size_t kWindowCap = 12;
+    constexpr size_t kKillCap = 8;
+
+    // Seed: a lockstep recording iteration captures the applied
+    // mutating-verb stream. Lockstep maximizes contention, so the window
+    // it records is the richest one; enforced iterations then free-run
+    // (the holds replace the barrier, which would deadlock against them).
+    CrashSchedule seed_schedule;
+    seed_schedule.sync = SyncMode::kLockstep;
+    seed_schedule.record_verbs = true;
+    report.schedules_planned++;
+    const IterationResult seed = execute(run, seed_schedule);
+
+    // Restrict a stream to contested units (touched by >= 2 slots).
+    auto contested_window = [&](const std::vector<VerbToken>& stream) {
+      std::map<int, std::set<int>> unit_slots;
+      for (const VerbToken& verb : stream) {
+        unit_slots[verb.unit].insert(verb.slot);
+      }
+      std::vector<VerbToken> window;
+      for (const VerbToken& verb : stream) {
+        if (unit_slots[verb.unit].size() < 2) continue;
+        window.push_back(verb);
+        if (window.size() >= kWindowCap) break;
+      }
+      return window;
+    };
+    const std::vector<VerbToken> window =
+        contested_window(seed.applied_verbs);
+    report.verb_window =
+        std::max(report.verb_window, static_cast<int>(window.size()));
+    if (window.empty()) return;
+
+    std::set<std::string> seen;
+    std::deque<CrashSchedule> queue;
+    auto enqueue = [&](CrashSchedule candidate, bool front) {
+      if (!seen.insert(candidate.ToString()).second) {
+        report.verb_orders_pruned++;  // Equivalent order already tried.
+        return;
+      }
+      if (front) {
+        queue.push_front(std::move(candidate));
+      } else {
+        queue.push_back(std::move(candidate));
+      }
+    };
+
+    // DPOR reversals: for each conflicting pair (i, j) — same unit,
+    // different slots — schedule w[j] to land before w[i] under the
+    // prefix that actually preceded them. Valid only when no verb
+    // between them belongs to w[j]'s slot (w[j] cannot be issued until
+    // those land, so the reversal would be unrealizable).
+    auto reversals = [&](const std::vector<VerbToken>& stream,
+                         bool front) {
+      const std::vector<VerbToken> w = contested_window(stream);
+      for (size_t i = 0; i < w.size(); ++i) {
+        for (size_t j = i + 1; j < w.size(); ++j) {
+          if (w[i].unit != w[j].unit || w[i].slot == w[j].slot) continue;
+          bool realizable = true;
+          for (size_t k = i + 1; k < j && realizable; ++k) {
+            if (w[k].slot == w[j].slot) realizable = false;
+          }
+          if (!realizable) continue;
+          CrashSchedule candidate;
+          candidate.verb_order.assign(w.begin(),
+                                      w.begin() + static_cast<long>(i));
+          candidate.verb_order.push_back(w[j]);
+          candidate.verb_order.push_back(w[i]);
+          enqueue(std::move(candidate), front);
+        }
+      }
+    };
+
+    // Who-wins-the-word permutations: every order of the slots' first
+    // accesses to the hottest unit (<= 3! with three slots).
+    {
+      std::map<int, int> heat;
+      for (const VerbToken& verb : window) heat[verb.unit]++;
+      int hottest = window[0].unit;
+      for (const auto& [unit, count] : heat) {
+        if (count > heat[hottest]) hottest = unit;
+      }
+      std::vector<VerbToken> firsts;
+      std::set<int> seen_slots;
+      for (const VerbToken& verb : window) {
+        if (verb.unit != hottest) continue;
+        if (seen_slots.insert(verb.slot).second) firsts.push_back(verb);
+      }
+      auto token_less = [](const VerbToken& a, const VerbToken& b) {
+        return std::tie(a.slot, a.run, a.unit, a.access) <
+               std::tie(b.slot, b.run, b.unit, b.access);
+      };
+      std::sort(firsts.begin(), firsts.end(), token_less);
+      if (firsts.size() >= 2 && firsts.size() <= 3) {
+        std::vector<VerbToken> perm = firsts;
+        do {
+          CrashSchedule candidate;
+          candidate.verb_order = perm;
+          enqueue(std::move(candidate), false);
+        } while (
+            std::next_permutation(perm.begin(), perm.end(), token_less));
+      }
+    }
+    reversals(seed.applied_verbs, /*front=*/false);
+    // Verb-level kills: die after posting the a-th window verb, with the
+    // preceding window enforced as recorded.
+    for (size_t a = 0; a < window.size() && a < kKillCap; ++a) {
+      CrashSchedule candidate;
+      candidate.verb_order.assign(window.begin(),
+                                  window.begin() + static_cast<long>(a));
+      candidate.has_verb_kill = true;
+      candidate.verb_kill = window[a];
+      enqueue(std::move(candidate), false);
+    }
+
+    int budget = config_.iterations - 1;  // the recording seed used one
+    while (!queue.empty() && !should_stop()) {
+      if (budget-- <= 0) {
+        report.schedules_skipped += static_cast<int>(queue.size());
+        break;
+      }
+      CrashSchedule candidate = queue.front();
+      queue.pop_front();
+      report.schedules_planned++;
+      const IterationResult result = execute(run, candidate);
+      report.verb_orders_explored++;
+      // Iterations that exercised an injected bug (or violated outright)
+      // are where the races hide: their realized streams seed the next
+      // DPOR generation, explored depth-first.
+      if (result.violation || result.bug_injections > 0) {
+        reversals(result.applied_verbs, /*front=*/true);
+      }
+    }
+  };
+
   switch (config_.schedule) {
     case SchedulePolicy::kRandom: {
+      SpecRun run(config_, spec);
       Random rng(config_.seed);
       for (int i = 0; i < config_.iterations && !should_stop(); ++i) {
         CrashSchedule schedule;  // free-running, maybe one random crash
@@ -676,74 +994,36 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
           schedule.crashes.push_back(crash);
         }
         report.schedules_planned++;
-        execute(schedule);
+        execute(run, schedule);
       }
       break;
     }
     case SchedulePolicy::kExhaustive: {
-      // Profiling iteration: lockstep, no crash. Records the reachable
-      // (slot, run, point, occurrence) tuples that bound the enumeration
-      // — and doubles as the no-crash litmus check (lockstep alone
-      // surfaces ordering bugs like covert/relaxed locks).
-      CrashSchedule profile_schedule;
-      profile_schedule.sync = SyncMode::kLockstep;
-      report.schedules_planned++;
-      const IterationResult profile = execute(profile_schedule);
-
-      std::vector<CrashSchedule> worklist;
-      for (uint32_t t = 0; t < run.num_txns; ++t) {
-        if (t >= profile.visits.size()) break;
-        for (size_t r = 0; r < profile.visits[t].size(); ++r) {
-          std::vector<int> counts(txn::kNumCrashPoints, 0);
-          for (const txn::CrashPoint point : profile.visits[t][r]) {
-            counts[static_cast<int>(point)]++;
-          }
-          for (int p = 0; p < txn::kNumCrashPoints; ++p) {
-            for (int occ = 1; occ <= counts[p]; ++occ) {
-              CrashSchedule schedule;
-              schedule.sync = SyncMode::kLockstep;
-              CrashDirective crash;
-              crash.slot = static_cast<int>(t);
-              crash.run = static_cast<int>(r);
-              crash.point = static_cast<txn::CrashPoint>(p);
-              crash.occurrence = occ;
-              schedule.crashes.push_back(crash);
-              worklist.push_back(schedule);
-              if (config_.compound_rc_fault) {
-                CrashSchedule compound = schedule;
-                compound.rc_fault = true;
-                worklist.push_back(compound);
-              }
-              if (config_.compound_memory_kill) {
-                CrashSchedule compound = schedule;
-                compound.kill_memory_node = static_cast<int>(
-                    worklist.size() % config_.memory_nodes);
-                worklist.push_back(compound);
-              }
-            }
-          }
-        }
-      }
-      report.schedules_planned += static_cast<int>(worklist.size());
-
-      int budget = config_.iterations - 1;  // profiling consumed one
-      for (size_t i = 0; i < worklist.size() && !should_stop(); ++i) {
-        if (budget-- <= 0) {
-          report.schedules_skipped =
-              static_cast<int>(worklist.size() - i);
-          PANDORA_LOG(kWarning)
-              << "litmus: schedule enumeration truncated, "
-              << report.schedules_skipped << " of " << worklist.size()
-              << " schedules skipped (raise HarnessConfig::iterations)";
-          break;
-        }
-        execute(worklist[i]);
+      SpecRun run(config_, spec);
+      crash_point_exhaustive(run);
+      break;
+    }
+    case SchedulePolicy::kVerbExhaustive: {
+      // Try run count 1 first (single-shot races need no repeats and
+      // explore fastest), then the configured repeat count, each against
+      // a fresh deployment: crash-point enumeration, then verb-order
+      // exploration.
+      std::vector<int> run_counts{1};
+      const int configured = std::max(1, config_.runs_per_txn);
+      if (configured != 1) run_counts.push_back(configured);
+      for (const int count : run_counts) {
+        if (should_stop()) break;
+        SpecRun run(config_, spec, count, /*phase_budget_multiplier=*/2);
+        crash_point_exhaustive(run);
+        if (!should_stop()) verb_explore(run);
       }
       break;
     }
     case SchedulePolicy::kReplay: {
+      // Honor the trace's recorded run count (0 = config default).
+      SpecRun run(config_, spec, config_.replay.runs);
       report.schedules_planned++;
-      execute(config_.replay);
+      execute(run, config_.replay);
       break;
     }
   }

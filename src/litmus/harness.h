@@ -23,7 +23,9 @@ struct HarnessConfig {
   /// Iteration budget per litmus spec. Each iteration runs the spec's
   /// transactions concurrently on separate compute servers against fresh
   /// keys. Under kExhaustive this caps the number of enumerated schedules
-  /// (profiling iteration included).
+  /// (profiling iteration included). Under kVerbExhaustive it is a
+  /// per-phase budget: the crash-point enumeration and the verb-order
+  /// exploration each get this many iterations, per explored run count.
   int iterations = 100;
   uint64_t seed = 1;
   /// kRandom only: probability (percent) that an iteration crashes one
@@ -109,6 +111,22 @@ struct LitmusReport {
   std::vector<int> point_visits = std::vector<int>(txn::kNumCrashPoints, 0);
   std::vector<int> point_crashes =
       std::vector<int>(txn::kNumCrashPoints, 0);
+
+  /// --- kVerbExhaustive only --------------------------------------------
+  /// Size of the largest contested-verb window a recording iteration
+  /// captured (verbs by >=2 slots against the same word cluster).
+  int verb_window = 0;
+  /// Enforced verb orders actually executed.
+  int verb_orders_explored = 0;
+  /// Candidate orders dropped as duplicates of an already-enqueued order
+  /// (the DPOR equivalence pruning).
+  int verb_orders_pruned = 0;
+  /// Verb-level kills (node death between posting a verb and the verb
+  /// landing) that fired.
+  int verb_kills_injected = 0;
+  /// Enforced orders that turned out unrealizable (a hold timed out and
+  /// the iteration degraded to free-running).
+  int verb_schedules_diverged = 0;
 
   /// One line per visited crash point: "name visits/crashes".
   std::string CoverageSummary() const;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/clock.h"
+
 namespace pandora {
 namespace litmus {
 
@@ -25,9 +27,36 @@ bool ParseInt(const std::string& text, int* out) {
 
 }  // namespace
 
+std::string VerbTokenToString(const VerbToken& token) {
+  std::ostringstream out;
+  out << token.slot << "." << token.run << "." << token.unit << "."
+      << token.access;
+  return out.str();
+}
+
+bool VerbTokenFromString(const std::string& text, VerbToken* out) {
+  std::istringstream fields(text);
+  std::string slot_s, run_s, unit_s, access_s;
+  if (!std::getline(fields, slot_s, '.') ||
+      !std::getline(fields, run_s, '.') ||
+      !std::getline(fields, unit_s, '.') ||
+      !std::getline(fields, access_s)) {
+    return false;
+  }
+  VerbToken token;
+  if (!ParseInt(slot_s, &token.slot) || !ParseInt(run_s, &token.run) ||
+      !ParseInt(unit_s, &token.unit) ||
+      !ParseInt(access_s, &token.access)) {
+    return false;
+  }
+  *out = token;
+  return true;
+}
+
 std::string CrashSchedule::ToString() const {
   std::ostringstream out;
   out << "sync=" << SyncModeName(sync);
+  if (runs > 0) out << " runs=" << runs;
   for (const CrashDirective& crash : crashes) {
     out << " crash=" << crash.slot << ":" << crash.run << ":";
     if (crash.any_point) {
@@ -38,6 +67,14 @@ std::string CrashSchedule::ToString() const {
   }
   if (rc_fault) out << " rc_fault=1";
   if (kill_memory_node >= 0) out << " kill_mem=" << kill_memory_node;
+  if (!verb_order.empty()) {
+    out << " vorder=";
+    for (size_t i = 0; i < verb_order.size(); ++i) {
+      if (i > 0) out << ",";
+      out << VerbTokenToString(verb_order[i]);
+    }
+  }
+  if (has_verb_kill) out << " vkill=" << VerbTokenToString(verb_kill);
   return out.str();
 }
 
@@ -80,10 +117,24 @@ bool CrashSchedule::Parse(const std::string& text, CrashSchedule* out) {
         if (!ParseInt(occ_s, &crash.occurrence)) return false;
       }
       parsed.crashes.push_back(crash);
+    } else if (key == "runs") {
+      if (!ParseInt(value, &parsed.runs) || parsed.runs <= 0) return false;
     } else if (key == "rc_fault") {
       parsed.rc_fault = (value == "1");
     } else if (key == "kill_mem") {
       if (!ParseInt(value, &parsed.kill_memory_node)) return false;
+    } else if (key == "vorder") {
+      std::istringstream entries(value);
+      std::string entry;
+      while (std::getline(entries, entry, ',')) {
+        VerbToken verb;
+        if (!VerbTokenFromString(entry, &verb)) return false;
+        parsed.verb_order.push_back(verb);
+      }
+      if (parsed.verb_order.empty()) return false;
+    } else if (key == "vkill") {
+      if (!VerbTokenFromString(value, &parsed.verb_kill)) return false;
+      parsed.has_verb_kill = true;
     } else {
       return false;
     }
@@ -130,6 +181,168 @@ void LockstepController::Retire() {
 int LockstepController::timeouts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return timeouts_;
+}
+
+namespace {
+// Applied-stream capture bound: litmus windows are tiny (a handful of
+// contested words, a few accesses each); 64 tokens is several times the
+// largest window any spec produces.
+constexpr size_t kAppliedTokenCap = 64;
+}  // namespace
+
+VerbOrderController::VerbOrderController(Options options)
+    : opts_(std::move(options)),
+      current_run_(opts_.slot_nodes.size(), 0),
+      pending_(opts_.slot_nodes.size(), {false, VerbToken{}}) {}
+
+void VerbOrderController::BeginRun(int slot, int run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= 0 && static_cast<size_t>(slot) < current_run_.size()) {
+    current_run_[static_cast<size_t>(slot)] = run;
+  }
+}
+
+bool VerbOrderController::MapToken(const rdma::VerbDesc& desc, int* slot,
+                                   VerbToken* token) {
+  // Caller holds mu_.
+  if (!rdma::VerbMutates(desc.kind)) return false;
+  int s = -1;
+  for (size_t i = 0; i < opts_.slot_nodes.size(); ++i) {
+    if (opts_.slot_nodes[i] == desc.src) {
+      s = static_cast<int>(i);
+      break;
+    }
+  }
+  if (s < 0) return false;
+  bool data_region = false;
+  for (const rdma::RKey rkey : opts_.data_rkeys) {
+    if (rkey == desc.rkey) {
+      data_region = true;
+      break;
+    }
+  }
+  if (!data_region) return false;
+  int unit = -1;
+  for (size_t u = 0; u < opts_.unit_ranges.size(); ++u) {
+    if (desc.offset >= opts_.unit_ranges[u].first &&
+        desc.offset < opts_.unit_ranges[u].second) {
+      unit = static_cast<int>(u);
+      break;
+    }
+  }
+  if (unit < 0) return false;
+  const int run = current_run_[static_cast<size_t>(s)];
+  const int access = access_counts_[std::make_tuple(s, run, unit)]++;
+  token->slot = s;
+  token->run = run;
+  token->unit = unit;
+  token->access = access;
+  *slot = s;
+  return true;
+}
+
+bool VerbOrderController::OnVerbIssue(const rdma::VerbDesc& desc) {
+  VerbToken token;
+  int slot = -1;
+  bool is_kill = false;
+  bool in_order = false;
+  size_t position = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!MapToken(desc, &slot, &token)) return true;
+    pending_[static_cast<size_t>(slot)] = {true, token};
+    is_kill = opts_.has_kill && token == opts_.kill;
+    if (!is_kill) {
+      for (size_t i = 0; i < opts_.order.size(); ++i) {
+        if (opts_.order[i] == token) {
+          in_order = true;
+          position = i;
+          break;
+        }
+      }
+    }
+  }
+  if (in_order || is_kill) {
+    // The kill fires only once the whole enforced window has landed; an
+    // ordered verb waits for its predecessors. The park is fiber-aware:
+    // sibling fibers on the same worker keep running while we hold.
+    const size_t wait_until = is_kill ? opts_.order.size() : position;
+    const uint64_t deadline = NowNanos() + opts_.hold_timeout_us * 1000;
+    bool counted_hold = false;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (diverged_ || cursor_ >= wait_until) break;
+        if (!counted_hold) {
+          counted_hold = true;
+          ++holds_;
+        }
+      }
+      if (NowNanos() > deadline) {
+        // Unrealizable order (a predecessor verb is never issued):
+        // degrade to free-running rather than wedge the iteration.
+        ReleaseAll();
+        break;
+      }
+      SleepForMicros(20);
+    }
+  }
+  if (is_kill) {
+    // Halt first so the drop is indistinguishable from the node dying
+    // mid-verb (the QP re-checks liveness and fails with "halted").
+    if (opts_.fabric != nullptr) opts_.fabric->HaltNode(desc.src);
+    std::lock_guard<std::mutex> lock(mu_);
+    killed_slot_ = slot;
+    pending_[static_cast<size_t>(slot)].first = false;
+    return false;
+  }
+  return true;
+}
+
+void VerbOrderController::OnVerbApplied(const rdma::VerbDesc& desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int slot = -1;
+  for (size_t i = 0; i < opts_.slot_nodes.size(); ++i) {
+    if (opts_.slot_nodes[i] == desc.src) {
+      slot = static_cast<int>(i);
+      break;
+    }
+  }
+  if (slot < 0 || !pending_[static_cast<size_t>(slot)].first) return;
+  const VerbToken token = pending_[static_cast<size_t>(slot)].second;
+  pending_[static_cast<size_t>(slot)].first = false;
+  if (applied_.size() < kAppliedTokenCap) applied_.push_back(token);
+  if (cursor_ < opts_.order.size() && opts_.order[cursor_] == token) {
+    ++cursor_;
+  }
+}
+
+void VerbOrderController::ReleaseAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opts_.order.empty() && cursor_ < opts_.order.size()) {
+    diverged_ = true;
+  }
+  cursor_ = opts_.order.size();
+}
+
+bool VerbOrderController::diverged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return diverged_;
+}
+
+int VerbOrderController::killed_slot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return killed_slot_;
+}
+
+int VerbOrderController::holds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return holds_;
+}
+
+std::vector<VerbToken> VerbOrderController::applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_;
 }
 
 }  // namespace litmus

@@ -1,5 +1,7 @@
 #include "rdma/fabric.h"
 
+#include <thread>
+
 #include "common/logging.h"
 
 namespace pandora {
@@ -40,7 +42,19 @@ std::unique_ptr<QueuePair> Fabric::CreateQueuePair(NodeId src,
                                                    NodeId dst) const {
   ProtectionDomain* pd = GetMemoryNode(dst);
   PANDORA_CHECK(pd != nullptr);
-  return std::make_unique<QueuePair>(src, pd, &net_, halted_flag(src));
+  return std::make_unique<QueuePair>(src, pd, &net_, halted_flag(src),
+                                     &verb_hook_);
+}
+
+void Fabric::set_verb_hook(VerbScheduleHook* hook) {
+  verb_hook_.hook.store(hook, std::memory_order_release);
+  if (hook == nullptr) {
+    // Drain: a verb that loaded the old pointer may still be inside a
+    // callback; wait it out so the caller can destroy the hook.
+    while (verb_hook_.active.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+  }
 }
 
 void Fabric::HaltNode(NodeId node) {

@@ -12,6 +12,7 @@
 #include "rdma/protection_domain.h"
 #include "rdma/queue_pair.h"
 #include "rdma/types.h"
+#include "rdma/verb_schedule.h"
 
 namespace pandora {
 namespace rdma {
@@ -59,8 +60,20 @@ class Fabric {
   void RevokeNodeEverywhere(NodeId node);
   void RestoreNodeEverywhere(NodeId node);
 
+  /// --- Verb-level scheduling ------------------------------------------
+  /// Installs (or, with nullptr, uninstalls) the verb-schedule hook every
+  /// queue pair of this fabric consults before applying a verb. Uninstall
+  /// waits until no in-flight verb is still inside a hook callback, so the
+  /// caller may destroy the hook object as soon as this returns. With no
+  /// hook installed the per-verb cost is a single relaxed atomic load.
+  void set_verb_hook(VerbScheduleHook* hook);
+  VerbScheduleHook* verb_hook() const {
+    return verb_hook_.hook.load(std::memory_order_acquire);
+  }
+
  private:
   NetworkModel net_;
+  mutable VerbHookSlot verb_hook_;
   mutable std::mutex mu_;
   std::vector<std::pair<NodeId, std::unique_ptr<ProtectionDomain>>>
       memory_nodes_;

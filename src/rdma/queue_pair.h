@@ -8,6 +8,7 @@
 #include "rdma/network_model.h"
 #include "rdma/protection_domain.h"
 #include "rdma/types.h"
+#include "rdma/verb_schedule.h"
 
 namespace pandora {
 namespace rdma {
@@ -26,8 +27,13 @@ namespace rdma {
 class QueuePair {
  public:
   QueuePair(NodeId src, ProtectionDomain* remote, const NetworkModel* net,
-            const std::atomic<bool>* src_halted)
-      : src_(src), remote_(remote), net_(net), src_halted_(src_halted) {}
+            const std::atomic<bool>* src_halted,
+            VerbHookSlot* hook_slot = nullptr)
+      : src_(src),
+        remote_(remote),
+        net_(net),
+        src_halted_(src_halted),
+        hook_slot_(hook_slot) {}
 
   QueuePair(const QueuePair&) = delete;
   QueuePair& operator=(const QueuePair&) = delete;
@@ -66,12 +72,20 @@ class QueuePair {
 
  private:
   Status CheckHalted() const;
+  /// A verb the schedule hook dropped fails exactly like a verb issued by
+  /// a freshly-dead node.
+  Status DroppedVerbStatus() const;
   void Wait(uint64_t rtt_ns) const;
 
   NodeId src_;
   ProtectionDomain* remote_;
   const NetworkModel* net_;
   const std::atomic<bool>* src_halted_;
+  /// The Fabric's verb-schedule hook slot (nullptr for QPs built outside a
+  /// fabric). One relaxed load per verb when no hook is installed.
+  VerbHookSlot* hook_slot_;
+  /// Per-QP verb issue index, tagged into VerbDesc::qp_seq.
+  uint64_t seq_ = 0;
 };
 
 /// Groups verbs (possibly across several queue pairs / memory servers) that

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rdma/verb_schedule.h"
+
 namespace pandora {
 namespace txn {
 
@@ -63,6 +65,8 @@ void ScheduleRecorderHook::BeginRun(int run) {
   if (static_cast<size_t>(run) >= visited_.size()) {
     visited_.resize(static_cast<size_t>(run) + 1);
   }
+  // A fresh program run starts outside any protocol phase.
+  rdma::SetVerbPhase(-1);
 }
 
 void ScheduleRecorderHook::ArmCrashAt(int run, CrashPoint point,
@@ -80,6 +84,9 @@ void ScheduleRecorderHook::ArmCrashAtGlobalOccurrence(int occurrence) {
 
 bool ScheduleRecorderHook::MaybeCrash(CrashPoint point) {
   if (run_ < 0) BeginRun(0);
+  // Tag the issuing thread: every verb until the next crash point carries
+  // this phase in its VerbDesc (verb-level schedule hooks key off it).
+  rdma::SetVerbPhase(static_cast<int>(point));
   auto& trace = visited_[static_cast<size_t>(run_)];
   trace.push_back(point);
   const int occurrence = static_cast<int>(

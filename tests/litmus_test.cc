@@ -292,19 +292,24 @@ TEST(LitmusFuzzSpec, GeneratorIsDeterministicAndWellFormed) {
 
 // --- Bug reproduction: each Table-1 bug must be *caught* by the framework.
 //
-// Four of the six bugs are caught *deterministically*: the exhaustive
-// scheduler's lockstep profiling iteration forces the maximally-racy
-// interleaving (covert/relaxed locks need no crash at all), and its
-// enumeration then crashes every reachable (slot, run, point, occurrence)
-// tuple in turn (lost-decision and logging-without-locking each have one
-// specific guilty point). The whole suite runs twice — execution-phase
-// pipelining on and off — because the bugs must be caught under either
-// verb-issue discipline.
+// All six bugs are caught *deterministically* — no randomized sampler
+// anywhere in the suite. Four need only the crash-point machinery: the
+// exhaustive scheduler's lockstep profiling iteration forces the
+// maximally-racy interleaving (covert/relaxed locks need no crash at
+// all), and its enumeration then crashes every reachable (slot, run,
+// point, occurrence) tuple in turn (lost-decision and
+// logging-without-locking each have one specific guilty point).
 //
-// ComplicitAbort and MissingInsertLogging remain on the randomized
-// sampler: their manifestation is an intra-phase CAS race between three
-// parties, which the per-crash-point rendezvous cannot order (see
-// ROADMAP.md, open items).
+// ComplicitAbort and MissingInsertLogging manifest through intra-phase
+// races the per-crash-point rendezvous cannot order; they use
+// kVerbExhaustive, which additionally enforces candidate apply orders of
+// the contested one-sided verbs through the fabric's verb-schedule hook
+// (bounded DPOR over the racing window, plus verb-level kills). Every
+// catch is then re-proved by parsing its serialized trace and replaying
+// it — one iteration, milliseconds — with an identical outcome.
+//
+// The whole suite runs twice — execution-phase pipelining on and off —
+// because the bugs must be caught under either verb-issue discipline.
 //
 // Note on execution-phase pipelining: it was NOT what hid these bugs.
 // The harness installs a crash hook on every litmus coordinator, and a
@@ -312,7 +317,7 @@ TEST(LitmusFuzzSpec, GeneratorIsDeterministicAndWellFormed) {
 // interleave per verb), so the litmus runs that missed the four bugs
 // were already on the sequential paths. The misses were pure schedule
 // starvation: random sampling almost never hits the one (point,
-// occurrence) a bug needs, which is what the exhaustive policy fixes.
+// occurrence) a bug needs, which is what the exhaustive policies fix.
 
 // The pipelining matrix: every hunt runs with execution-phase doorbell
 // pipelining on and off.
@@ -321,17 +326,20 @@ class LitmusBugHunt : public ::testing::TestWithParam<bool> {
   static bool pipeline() { return GetParam(); }
 };
 
-// Deterministic hunt: exhaustive schedule exploration must find the bug —
-// and must prove the bug flags actually fired (no injection no-ops).
-void ExpectBugCaughtExhaustive(txn::ProtocolMode mode, txn::BugFlags bugs,
-                               const LitmusSpec& spec, int runs_per_txn,
-                               bool pipeline, const char* bug_name) {
+// Deterministic hunt: the given schedule policy must find the bug, must
+// prove the bug flags actually fired (no injection no-ops), and every
+// catch must reproduce from its serialized trace — parsed back and
+// replayed as a single iteration — with a violation.
+void ExpectBugCaught(SchedulePolicy policy, txn::ProtocolMode mode,
+                     txn::BugFlags bugs, const LitmusSpec& spec,
+                     int runs_per_txn, bool pipeline,
+                     const char* bug_name) {
   HarnessConfig config = FastConfig();
   config.txn.mode = mode;
   config.txn.bugs = bugs;
   config.txn.pipeline_execution = pipeline;
   config.txn.sequential_verbs = SequentialVerbsFromEnv();
-  config.schedule = SchedulePolicy::kExhaustive;
+  config.schedule = policy;
   config.iterations = 120;
   config.runs_per_txn = runs_per_txn;
   config.stop_after_violations = 1;
@@ -340,60 +348,49 @@ void ExpectBugCaughtExhaustive(txn::ProtocolMode mode, txn::BugFlags bugs,
   EXPECT_TRUE(report.harness_error.empty()) << report.harness_error;
   EXPECT_GT(report.bug_injections, 0u)
       << bug_name << ": bug flags never deviated from the fixed protocol";
-  EXPECT_GT(report.violations, 0)
-      << "exhaustive scheduler failed to catch " << bug_name << " in "
+  ASSERT_GT(report.violations, 0)
+      << "deterministic scheduler failed to catch " << bug_name << " in "
       << report.iterations << " iterations ("
       << report.schedules_planned << " schedules planned)";
-  if (report.violations > 0) {
-    EXPECT_FALSE(report.failures.empty());
-    DumpReproducerTraces(report, std::string("bughunt-") + bug_name);
-  }
+  EXPECT_FALSE(report.failures.empty());
+  DumpReproducerTraces(report, std::string("bughunt-") + bug_name);
+
+  // Replay-from-trace: the recorded schedule alone must reproduce.
+  ASSERT_FALSE(report.violation_traces.empty());
+  CrashSchedule schedule;
+  ASSERT_TRUE(CrashSchedule::Parse(report.violation_traces[0], &schedule))
+      << report.violation_traces[0];
+  HarnessConfig replay_config = config;
+  replay_config.schedule = SchedulePolicy::kReplay;
+  replay_config.replay = schedule;
+  LitmusHarness replayer(replay_config);
+  const LitmusReport replay = replayer.Run(spec);
+  EXPECT_EQ(replay.violations, 1)
+      << bug_name << ": trace did not replay: "
+      << report.violation_traces[0];
+  ASSERT_FALSE(replay.violation_traces.empty());
+  EXPECT_EQ(replay.violation_traces[0], report.violation_traces[0]);
 }
 
-// Randomized hunt (legacy): batches of fresh-seeded iterations until a
-// violation, for the two bugs whose trigger is a multi-party timing race.
-void ExpectBugCaughtRandomized(txn::ProtocolMode mode, txn::BugFlags bugs,
-                               const LitmusSpec& spec,
-                               uint32_t crash_percent, uint64_t base_seed,
-                               bool pipeline, const char* bug_name,
-                               uint64_t one_way_ns = 1500,
-                               int runs_per_txn = 2) {
-  constexpr int kBatches = 12;
-  constexpr int kIterationsPerBatch = 120;
-  for (int batch = 0; batch < kBatches; ++batch) {
-    HarnessConfig config = FastConfig();
-    config.txn.mode = mode;
-    config.txn.bugs = bugs;
-    config.txn.pipeline_execution = pipeline;
-    config.txn.sequential_verbs = SequentialVerbsFromEnv();
-    config.net.one_way_ns = one_way_ns;
-    config.runs_per_txn = runs_per_txn;
-    config.iterations = kIterationsPerBatch;
-    config.crash_percent = crash_percent;
-    config.seed = base_seed + static_cast<uint64_t>(batch) * 101;
-    LitmusHarness harness(config);
-    const LitmusReport report = harness.Run(spec);
-    if (report.violations > 0) {
-      DumpReproducerTraces(report, std::string("bughunt-") + bug_name);
-      return;  // Caught.
-    }
-  }
-  FAIL() << "litmus framework failed to catch " << bug_name << " after "
-         << kBatches * kIterationsPerBatch << " iterations";
+void ExpectBugCaughtExhaustive(txn::ProtocolMode mode, txn::BugFlags bugs,
+                               const LitmusSpec& spec, int runs_per_txn,
+                               bool pipeline, const char* bug_name) {
+  ExpectBugCaught(SchedulePolicy::kExhaustive, mode, bugs, spec,
+                  runs_per_txn, pipeline, bug_name);
 }
 
 TEST_P(LitmusBugHunt, ComplicitAbortCaught) {
   txn::BugFlags bugs;
   bugs.complicit_abort = true;
-  // 6 µs one-way latency + 3 runs per slot maximize the window in which
-  // a buggy abort-path release can free a lock another live transaction
-  // holds (measured ~90% catch probability per 120-iteration batch; the
-  // 12 fresh-seeded batches make a miss astronomically unlikely).
-  ExpectBugCaughtRandomized(txn::ProtocolMode::kPandora, bugs,
-                            Litmus1LockRelease(), /*crash_percent=*/0,
-                            /*base_seed=*/7, pipeline(),
-                            "Complicit Aborts", /*one_way_ns=*/6000,
-                            /*runs_per_txn=*/3);
+  // The guilty schedule is an intra-phase race: a buggy abort-path
+  // release frees a lock a live transaction holds, a third transaction
+  // acquires it, and the two holders' per-replica applies land in
+  // opposite orders. No crash point separates those verbs — only the
+  // verb-order exploration reaches it (it shows up as replica
+  // divergence in the memory audit).
+  ExpectBugCaught(SchedulePolicy::kVerbExhaustive,
+                  txn::ProtocolMode::kPandora, bugs, Litmus1LockRelease(),
+                  /*runs_per_txn=*/3, pipeline(), "Complicit Aborts");
 }
 
 TEST_P(LitmusBugHunt, CovertLocksCaught) {
@@ -415,10 +412,14 @@ TEST_P(LitmusBugHunt, RelaxedLocksCaught) {
 TEST_P(LitmusBugHunt, MissingInsertLoggingCaught) {
   txn::BugFlags bugs;
   bugs.missing_insert_logging = true;
-  ExpectBugCaughtRandomized(txn::ProtocolMode::kFordBaseline, bugs,
-                            Litmus1Inserts(), /*crash_percent=*/100,
-                            /*base_seed=*/17, pipeline(),
-                            "Missing Actions");
+  // The guilty window (insert applied to memory, never logged, then the
+  // coordinator dies before commit finishes) needs a single-run program:
+  // a second run re-inserts and masks the loss. kVerbExhaustive tries run
+  // count 1 automatically, and its crash-point phase lands the catch at a
+  // deterministic MidCommitApply crash — no randomized timing needed.
+  ExpectBugCaught(SchedulePolicy::kVerbExhaustive,
+                  txn::ProtocolMode::kFordBaseline, bugs, Litmus1Inserts(),
+                  /*runs_per_txn=*/2, pipeline(), "Missing Actions");
 }
 
 TEST_P(LitmusBugHunt, LostDecisionCaught) {
@@ -433,11 +434,14 @@ TEST_P(LitmusBugHunt, LoggingWithoutLockingCaught) {
   txn::BugFlags bugs;
   bugs.logging_without_locking = true;
   bugs.lost_decision = true;  // The FORD corner case combines both.
-  // A single run per slot: the guilty crash window (log written, lock not
-  // yet taken) closes once the same coordinator runs a second program.
-  ExpectBugCaughtExhaustive(txn::ProtocolMode::kFordBaseline, bugs,
-                            Litmus1PartialOverlap(), /*runs_per_txn=*/1,
-                            pipeline(), "Logging-without-locking");
+  // The guilty crash window (log written, lock not yet taken) closes once
+  // the same coordinator runs a second program, so the catch needs a
+  // single run per slot. kVerbExhaustive explores run count 1 alongside
+  // the configured count automatically — no manual runs_per_txn knob.
+  ExpectBugCaught(SchedulePolicy::kVerbExhaustive,
+                  txn::ProtocolMode::kFordBaseline, bugs,
+                  Litmus1PartialOverlap(), /*runs_per_txn=*/2, pipeline(),
+                  "Logging-without-locking");
 }
 
 INSTANTIATE_TEST_SUITE_P(PipelineOnOff, LitmusBugHunt, ::testing::Bool(),
@@ -476,6 +480,75 @@ TEST(LitmusScheduleTest, TraceRoundTrips) {
   CrashSchedule bad;
   EXPECT_FALSE(CrashSchedule::Parse("crash=0:0:NoSuchPoint:1", &bad));
   EXPECT_FALSE(CrashSchedule::Parse("sync=sideways", &bad));
+}
+
+TEST(LitmusScheduleTest, VerbTraceRoundTrips) {
+  CrashSchedule schedule;
+  schedule.sync = SyncMode::kFree;
+  schedule.runs = 1;
+  schedule.verb_order = {{0, 0, 0, 0}, {1, 0, 0, 0}, {0, 0, 1, 1}};
+  schedule.has_verb_kill = true;
+  schedule.verb_kill = {2, 0, 0, 1};
+
+  const std::string text = schedule.ToString();
+  EXPECT_EQ(text,
+            "sync=free runs=1 vorder=0.0.0.0,1.0.0.0,0.0.1.1 "
+            "vkill=2.0.0.1");
+  CrashSchedule parsed;
+  ASSERT_TRUE(CrashSchedule::Parse(text, &parsed)) << text;
+  EXPECT_EQ(parsed.ToString(), text);
+  EXPECT_EQ(parsed.runs, 1);
+  ASSERT_EQ(parsed.verb_order.size(), 3u);
+  EXPECT_TRUE(parsed.verb_order[1] == (VerbToken{1, 0, 0, 0}));
+  ASSERT_TRUE(parsed.has_verb_kill);
+  EXPECT_TRUE(parsed.verb_kill == (VerbToken{2, 0, 0, 1}));
+
+  // The transient recording flag never serializes.
+  CrashSchedule recording;
+  recording.record_verbs = true;
+  EXPECT_FALSE(recording.empty());
+  EXPECT_EQ(recording.ToString(), "sync=free");
+
+  CrashSchedule bad;
+  EXPECT_FALSE(CrashSchedule::Parse("runs=0", &bad));
+  EXPECT_FALSE(CrashSchedule::Parse("vorder=", &bad));
+  EXPECT_FALSE(CrashSchedule::Parse("vorder=0.0.0", &bad));
+  EXPECT_FALSE(CrashSchedule::Parse("vkill=1.2.x.4", &bad));
+}
+
+// kVerbExhaustive's verb phase must actually explore: a contested window
+// is discovered, candidate orders are enforced, equivalent candidates are
+// pruned, and run counts beyond the configured one are tried
+// automatically. ComplicitAbort is the spec whose catch *requires* the
+// verb phase (no crash-point schedule finds it), so its report proves all
+// of that end to end: the violating trace is a verb order at run count 1
+// even though the config asks for 3 runs.
+TEST(LitmusScheduleTest, VerbExhaustiveExploresAndReportsCoverage) {
+  txn::BugFlags bugs;
+  bugs.complicit_abort = true;
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kPandora;
+  config.txn.bugs = bugs;
+  config.txn.sequential_verbs = SequentialVerbsFromEnv();
+  config.schedule = SchedulePolicy::kVerbExhaustive;
+  config.iterations = 120;
+  config.runs_per_txn = 3;
+  config.stop_after_violations = 1;
+  LitmusHarness harness(config);
+  const LitmusReport report = harness.Run(Litmus1LockRelease());
+  EXPECT_TRUE(report.harness_error.empty()) << report.harness_error;
+  ASSERT_GT(report.violations, 0);
+  EXPECT_GT(report.verb_window, 0);
+  EXPECT_GT(report.verb_orders_explored, 0);
+  ASSERT_FALSE(report.violation_traces.empty());
+  EXPECT_NE(report.violation_traces[0].find("vorder="), std::string::npos)
+      << report.violation_traces[0];
+  // The catch happened at an automatically-explored run count, and the
+  // trace records it so replay repeats the program the same number of
+  // times.
+  CrashSchedule parsed;
+  ASSERT_TRUE(CrashSchedule::Parse(report.violation_traces[0], &parsed));
+  EXPECT_GT(parsed.runs, 0);
 }
 
 // A recorded violating schedule must replay to the *same* violation:
@@ -546,8 +619,10 @@ TEST(LitmusScheduleTest, TracesByteIdenticalUnderActiveFiberScheduler) {
             plain_report.violation_traces[0]);
   EXPECT_EQ(fiber_report.violation_explanations[0],
             plain_report.violation_explanations[0]);
-  EXPECT_EQ(fiber_report.schedules_planned,
-            plain_report.schedules_planned);
+  // schedules_planned is deliberately NOT compared: the profiling
+  // iteration's conflict-retry counts are load-dependent, so two *plain*
+  // runs already disagree on the planned total (bimodal under
+  // contention). The violating trace is the determinism guard.
 }
 
 // Exhaustive mode on a single-transaction spec must crash at *every*

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
 #include "common/clock.h"
 
 #include "cluster/cluster.h"
+#include "rdma/verb_schedule.h"
 #include "recovery/recovery_manager.h"
 #include "txn/system_gate.h"
 #include "workloads/driver.h"
@@ -427,6 +429,85 @@ TEST_F(WorkloadsTest, FiberDriverHonorsPacing) {
   // immediate start each; aborts only lower the committed count.
   EXPECT_GT(result.committed, 100u);
   EXPECT_LE(result.committed, 8u * (200'000u / 500u) + 8u);
+}
+
+// A verb held at the fabric must suspend only its own fiber: sibling
+// fibers on the *same* worker thread keep issuing and landing verbs
+// while the hold is in place. The hook holds the first lock CAS it sees
+// and releases it only after observing 8 further CAS applies — so the
+// release condition itself is proof of sibling progress (a blocked
+// worker would starve the counter and trip the deadline instead).
+TEST_F(WorkloadsTest, HeldVerbSuspendsOnlyItsFiber) {
+  class HoldFirstCas : public rdma::VerbScheduleHook {
+   public:
+    bool OnVerbIssue(const rdma::VerbDesc& desc) override {
+      if (desc.kind != rdma::VerbKind::kCompareSwap) return true;
+      bool expected = false;
+      if (!holding_.compare_exchange_strong(expected, true)) return true;
+      const uint64_t deadline = NowNanos() + 100'000'000;  // 100 ms
+      while (cas_applied_.load(std::memory_order_acquire) < 8) {
+        if (NowNanos() > deadline) {
+          timed_out_.store(true, std::memory_order_release);
+          break;
+        }
+        SleepForMicros(50);  // Fiber-aware: suspends, never blocks.
+      }
+      held_one_.store(true, std::memory_order_release);
+      return true;
+    }
+    void OnVerbApplied(const rdma::VerbDesc& desc) override {
+      if (desc.kind == rdma::VerbKind::kCompareSwap) {
+        cas_applied_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    std::atomic<bool> holding_{false};
+    std::atomic<bool> held_one_{false};
+    std::atomic<bool> timed_out_{false};
+    std::atomic<int> cas_applied_{0};
+  };
+
+  MicroConfig config;
+  config.num_keys = 20'000;
+  config.write_percent = 100;
+  config.ops_per_txn = 2;
+  MicroWorkload micro(config);
+  Start(&micro);
+
+  auto run = [&](uint32_t fibers) {
+    DriverConfig driver_config;
+    driver_config.threads = 1;  // One worker: siblings share it.
+    driver_config.coordinators = 4;
+    driver_config.duration_ms = 200;
+    driver_config.bucket_ms = 50;
+    driver_config.fibers_per_thread = fibers;
+    Driver driver(cluster_.get(), manager_.get(), &gate_, &micro,
+                  driver_config);
+    return driver.Run();
+  };
+
+  HoldFirstCas hook;
+  cluster_->fabric().set_verb_hook(&hook);
+  const DriverResult fibered = run(4);
+  cluster_->fabric().set_verb_hook(nullptr);
+  ASSERT_TRUE(hook.held_one_.load()) << "no lock CAS ever issued";
+  EXPECT_FALSE(hook.timed_out_.load())
+      << "sibling fibers made no progress while a verb was held";
+  EXPECT_GT(fibered.committed, 20u);
+
+  // Per-committed round-trip accounting is invariant vs the blocking
+  // loop: a held verb costs wall-clock time, never simulated RTTs.
+  const DriverResult blocking = run(1);
+  ASSERT_GT(blocking.committed, 20u);
+  const auto per_committed = [](const DriverResult& r, uint64_t rtts) {
+    return static_cast<double>(rtts) /
+           static_cast<double>(std::max<uint64_t>(r.totals.committed, 1));
+  };
+  EXPECT_NEAR(per_committed(blocking, blocking.totals.execution_rtts),
+              per_committed(fibered, fibered.totals.execution_rtts),
+              0.15 * per_committed(blocking, blocking.totals.execution_rtts));
+  EXPECT_NEAR(per_committed(blocking, blocking.totals.commit_rtts),
+              per_committed(fibered, fibered.totals.commit_rtts),
+              0.15 * per_committed(blocking, blocking.totals.commit_rtts));
 }
 
 TEST_F(WorkloadsTest, DriverSurvivesMemoryCrash) {
