@@ -11,6 +11,11 @@
 // emits the canonical BENCH_steady_state.json artifact (throughput,
 // percentiles, config, git SHA) used to track the repo's perf trajectory.
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "workloads/micro.h"
 
@@ -56,6 +61,33 @@ void Report(BenchJson* json, const std::string& label,
   AddDriverMetrics(json, label, result);
 }
 
+double P99OverP50(const workloads::DriverResult& result) {
+  return result.latency_p50_ns > 0
+             ? static_cast<double>(result.latency_p99_ns) /
+                   static_cast<double>(result.latency_p50_ns)
+             : 0.0;
+}
+
+double CommitRttsPerCommitted(const workloads::DriverResult& result) {
+  return result.totals.committed > 0
+             ? static_cast<double>(result.totals.commit_rtts) /
+                   static_cast<double>(result.totals.committed)
+             : 0.0;
+}
+
+/// CI gate (PANDORA_BENCH_GATE=1): fail the run when the steady-state
+/// regression bars are violated. Fast mode (PANDORA_BENCH_FAST=1) runs a
+/// quarter-length sweep whose numbers are noisier, so its bars are
+/// correspondingly looser — the full-length canonical run enforces the
+/// tight ones recorded in EXPERIMENTS.md.
+struct Gate {
+  std::vector<std::string> failures;
+
+  void Check(bool ok, const std::string& what) {
+    if (!ok) failures.push_back(what);
+  }
+};
+
 }  // namespace
 }  // namespace bench
 }  // namespace pandora
@@ -76,8 +108,28 @@ int main() {
   json.Set("duration_ms", static_cast<double>(Scaled(3000)));
   json.Set("fibers_per_thread_scaled", kScaledFibers);
 
-  const workloads::DriverResult ford = RunSteadyState(false, 1);
-  const workloads::DriverResult pandora = RunSteadyState(true, 1);
+  workloads::DriverResult ford = RunSteadyState(false, 1);
+  workloads::DriverResult pandora = RunSteadyState(true, 1);
+  // The blocking pair feeds the PILL-overhead gate, and its measurement
+  // windows run seconds apart — long enough for host-load drift to swamp
+  // a low-single-digit throughput gap. Interleave repeats in Thue-Morse
+  // order (F P P F P F F P), which balances both linear and quadratic
+  // drift across the two protocols, and average. Latency percentiles and
+  // RTT counters come from the first run of each; only the throughput
+  // averages use all repeats.
+  {
+    // Continuing the F P prefix above: P F P F F P.
+    const bool recoverable_order[] = {true, false, true, false, false,
+                                      true};
+    double ford_mtps_sum = ford.mtps;
+    double pandora_mtps_sum = pandora.mtps;
+    for (const bool recoverable : recoverable_order) {
+      const workloads::DriverResult repeat = RunSteadyState(recoverable, 1);
+      (recoverable ? pandora_mtps_sum : ford_mtps_sum) += repeat.mtps;
+    }
+    ford.mtps = ford_mtps_sum / 4.0;
+    pandora.mtps = pandora_mtps_sum / 4.0;
+  }
   const workloads::DriverResult ford_fibers =
       RunSteadyState(false, kScaledFibers);
   const workloads::DriverResult pandora_fibers =
@@ -112,6 +164,51 @@ int main() {
   json.Set("pill_overhead_percent_fibers8", overhead_fibers);
   json.Set("pandora_fiber_speedup",
            pandora.mtps > 0 ? pandora_fibers.mtps / pandora.mtps : 0.0);
+
+  // Ratio fields the CI gate (and trend tooling) key on.
+  json.Set("pandora_over_ford_mtps",
+           ford.mtps > 0 ? pandora.mtps / ford.mtps : 0.0);
+  json.Set("pandora_over_ford_mtps_fibers8",
+           ford_fibers.mtps > 0 ? pandora_fibers.mtps / ford_fibers.mtps
+                                : 0.0);
+  const double rtt_delta =
+      CommitRttsPerCommitted(pandora) - CommitRttsPerCommitted(ford);
+  json.Set("commit_rtt_delta_pandora_minus_ford", rtt_delta);
   json.Write();
+
+  const char* gate_env = std::getenv("PANDORA_BENCH_GATE");
+  if (gate_env == nullptr || gate_env[0] != '1') return 0;
+
+  // Quarter-length fast runs are noisy; loosen the bars accordingly.
+  const bool fast = FastMode();
+  const double max_overhead_percent = fast ? 8.0 : 3.0;
+  const double max_p99_over_p50 = fast ? 6.0 : 4.0;
+  const double max_rtt_delta = fast ? 0.05 : 0.02;
+
+  Gate gate;
+  gate.Check(overhead <= max_overhead_percent,
+             "pill_overhead_percent " + std::to_string(overhead) + " > " +
+                 std::to_string(max_overhead_percent));
+  gate.Check(rtt_delta <= max_rtt_delta,
+             "commit_rtt_delta_pandora_minus_ford " +
+                 std::to_string(rtt_delta) + " > " +
+                 std::to_string(max_rtt_delta));
+  gate.Check(P99OverP50(ford_fibers) <= max_p99_over_p50,
+             "ford_fibers8 p99/p50 " +
+                 std::to_string(P99OverP50(ford_fibers)) + " > " +
+                 std::to_string(max_p99_over_p50));
+  gate.Check(P99OverP50(pandora_fibers) <= max_p99_over_p50,
+             "pandora_fibers8 p99/p50 " +
+                 std::to_string(P99OverP50(pandora_fibers)) + " > " +
+                 std::to_string(max_p99_over_p50));
+
+  if (!gate.failures.empty()) {
+    for (const std::string& failure : gate.failures) {
+      std::fprintf(stderr, "BENCH GATE VIOLATION: %s\n", failure.c_str());
+    }
+    return 1;
+  }
+  std::printf("bench gate: all steady-state bars met%s\n",
+              fast ? " (fast-mode thresholds)" : "");
   return 0;
 }

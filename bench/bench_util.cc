@@ -189,6 +189,17 @@ void AddDriverMetrics(BenchJson* json, const std::string& prefix,
   json->Set(p + "fiber_yields",
             static_cast<double>(result.fiber_yields));
   json->Set(p + "overlap_factor", result.overlap_factor);
+  // Tail-fairness metrics: the fibers8 latency gate is expressed as
+  // p99/p50, and the scheduler's own starvation counters explain a miss.
+  json->Set(p + "p99_over_p50",
+            result.latency_p50_ns > 0
+                ? static_cast<double>(result.latency_p99_ns) /
+                      static_cast<double>(result.latency_p50_ns)
+                : 0.0);
+  json->Set(p + "max_resume_lag_us",
+            static_cast<double>(result.fiber_max_resume_lag_ns) / 1000.0);
+  json->Set(p + "paced_admissions",
+            static_cast<double>(result.fiber_paced_admissions));
 }
 
 void PrintRttRows(const std::string& label,

@@ -12,6 +12,18 @@ uint64_t Fnv1a64(const void* data, size_t size) {
   return hash;
 }
 
+uint64_t Fnv1a64Words(const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  uint64_t word;
+  for (size_t i = 0; i + 8 <= size; i += 8) {
+    __builtin_memcpy(&word, p + i, 8);
+    hash ^= word;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 uint64_t HashKey(uint64_t key) {
   uint64_t z = key + 0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;

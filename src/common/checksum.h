@@ -11,6 +11,13 @@ namespace pandora {
 /// crashed mid-log, and (b) hash keys into hash-table slots.
 uint64_t Fnv1a64(const void* data, size_t size);
 
+/// FNV-1a folded over 64-bit words instead of bytes — 8x fewer multiply
+/// steps on the commit path. Requires `size % 8 == 0` (trailing bytes of a
+/// non-multiple are ignored). Detection granularity is one word, which
+/// matches the simulated fabric's word-atomic writes: a torn write can only
+/// differ at 8-byte boundaries, and any changed word changes the hash.
+uint64_t Fnv1a64Words(const void* data, size_t size);
+
 /// Hash of a 64-bit key (cheap integer mix, SplitMix64 finalizer). Used for
 /// slot selection and consistent-hash placement.
 uint64_t HashKey(uint64_t key);

@@ -1,5 +1,6 @@
 #include "common/fiber.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/clock.h"
@@ -60,13 +61,20 @@ struct FiberScheduler::Fiber {
   std::unique_ptr<char[]> stack;
   uint64_t ready_at_ns = 0;  // Runnable once NowNanos() >= this.
   uint64_t seq = 0;          // FIFO tie-break among equal deadlines.
+  /// Wall instant the fiber last became runnable: max(deadline, yield
+  /// time). Resume lag is measured from here, so a wait posted with an
+  /// already-passed deadline is not charged for time before it yielded.
+  /// 0 until the first suspension (first runs carry no lag).
+  uint64_t runnable_from_ns = 0;
   bool done = false;
   void* fake_stack = nullptr;  // ASan fake-stack handle across suspension.
   void* tsan_fiber = nullptr;
 };
 
 FiberScheduler::FiberScheduler(size_t stack_bytes)
-    : stack_bytes_(stack_bytes) {}
+    : FiberScheduler(Options{stack_bytes, 0, 0}) {}
+
+FiberScheduler::FiberScheduler(const Options& options) : options_(options) {}
 
 FiberScheduler::~FiberScheduler() {
   PANDORA_CHECK(current_ == nullptr);
@@ -98,11 +106,11 @@ void FiberScheduler::Spawn(std::function<void()> body) {
   auto fiber = std::make_unique<Fiber>();
   fiber->body = std::move(body);
   fiber->scheduler = this;
-  fiber->stack = std::make_unique<char[]>(stack_bytes_);
+  fiber->stack = std::make_unique<char[]>(options_.stack_bytes);
   fiber->seq = ++next_seq_;
   PANDORA_CHECK(getcontext(&fiber->context) == 0);
   fiber->context.uc_stack.ss_sp = fiber->stack.get();
-  fiber->context.uc_stack.ss_size = stack_bytes_;
+  fiber->context.uc_stack.ss_size = options_.stack_bytes;
   fiber->context.uc_link = nullptr;  // Fibers exit via SwitchOut, never fall off.
   const uintptr_t addr = reinterpret_cast<uintptr_t>(fiber.get());
   makecontext(&fiber->context, reinterpret_cast<void (*)()>(&Trampoline), 2,
@@ -111,20 +119,42 @@ void FiberScheduler::Spawn(std::function<void()> body) {
 #if defined(PANDORA_TSAN_FIBERS)
   fiber->tsan_fiber = __tsan_create_fiber(0);
 #endif
+  PushReady(fiber.get());
   fibers_.push_back(std::move(fiber));
 }
 
+// Strict-weak "resumes later than" on (deadline, yield seq): the heap
+// comparator that makes ready_ a min-heap dispatching earliest deadline
+// first with FIFO tie-break — exactly the order the old O(n) linear scan
+// produced, now in O(log n).
+bool FiberScheduler::ResumesAfter(const Fiber* a, const Fiber* b) {
+  return a->ready_at_ns > b->ready_at_ns ||
+         (a->ready_at_ns == b->ready_at_ns && a->seq > b->seq);
+}
+
 FiberScheduler::Fiber* FiberScheduler::PickNext() {
-  Fiber* best = nullptr;
-  for (const auto& fiber : fibers_) {
-    if (fiber->done) continue;
-    if (best == nullptr || fiber->ready_at_ns < best->ready_at_ns ||
-        (fiber->ready_at_ns == best->ready_at_ns &&
-         fiber->seq < best->seq)) {
-      best = fiber.get();
-    }
+  if (ready_.empty()) return nullptr;
+  std::pop_heap(ready_.begin(), ready_.end(), &ResumesAfter);
+  Fiber* next = ready_.back();
+  ready_.pop_back();
+  return next;
+}
+
+void FiberScheduler::PushReady(Fiber* fiber) {
+  ready_.push_back(fiber);
+  std::push_heap(ready_.begin(), ready_.end(), &ResumesAfter);
+}
+
+void FiberScheduler::MaybeYieldOsThread(uint64_t now_ns) {
+  if (options_.os_yield_every_ns == 0) return;
+  if (last_os_yield_ns_ == 0) {
+    last_os_yield_ns_ = now_ns;
+    return;
   }
-  return best;
+  if (now_ns - last_os_yield_ns_ < options_.os_yield_every_ns) return;
+  std::this_thread::yield();
+  stats_.os_yields++;
+  last_os_yield_ns_ = NowNanos();
 }
 
 void FiberScheduler::Run() {
@@ -134,11 +164,23 @@ void FiberScheduler::Run() {
   main_tsan_fiber_ = __tsan_get_current_fiber();
 #endif
   while (Fiber* next = PickNext()) {
-    const uint64_t now = NowNanos();
+    uint64_t now = NowNanos();
     if (next->ready_at_ns > now) {
       // Nothing runnable: this is the only wall time a wait still costs.
       stats_.idle_ns += next->ready_at_ns - now;
       IdleSpinUntilNanos(next->ready_at_ns);
+      now = next->ready_at_ns;
+    }
+    MaybeYieldOsThread(now);
+    if (next->runnable_from_ns != 0) {
+      stats_.resumes++;
+      if (now > next->runnable_from_ns) {
+        const uint64_t lag = now - next->runnable_from_ns;
+        if (lag > stats_.max_resume_lag_ns) stats_.max_resume_lag_ns = lag;
+        if (options_.lag_budget_ns != 0 && lag > options_.lag_budget_ns) {
+          stats_.lag_budget_overruns++;
+        }
+      }
     }
     SwitchIn(next);
     if (next->done) next->stack.reset();  // Stack is dead; free it early.
@@ -147,22 +189,50 @@ void FiberScheduler::Run() {
 }
 
 void FiberScheduler::WaitUntilNanos(uint64_t deadline_ns) {
-  Fiber* fiber = current_;
-  PANDORA_CHECK(fiber != nullptr);
   stats_.yields++;
   const uint64_t now = NowNanos();
   if (deadline_ns > now) stats_.wait_ns += deadline_ns - now;
-  fiber->ready_at_ns = deadline_ns;
-  fiber->seq = ++next_seq_;
-  SwitchOut(fiber);
+  SuspendCurrent(deadline_ns);
   // The scheduler resumes a fiber only once its deadline has passed, so
   // NowNanos() >= deadline_ns here — the simulated wait fully elapsed.
+}
+
+bool FiberScheduler::PaceAdmission() {
+  Fiber* fiber = current_;
+  PANDORA_CHECK(fiber != nullptr);
+  if (options_.lag_budget_ns == 0 || ready_.empty()) return false;
+  const uint64_t now = NowNanos();
+  const Fiber* oldest = ready_.front();
+  // First runs (runnable_from_ns == 0) and not-yet-due fibers carry no
+  // lag; the scheduler is keeping up.
+  if (oldest->runnable_from_ns == 0 || oldest->runnable_from_ns >= now) {
+    return false;
+  }
+  if (now - oldest->runnable_from_ns <= options_.lag_budget_ns) return false;
+  // The scheduler is behind on already-admitted work: donate this fiber's
+  // slice to the backlog instead of starting another transaction. EDF
+  // dispatches the overdue fibers first; this fiber re-enters the queue
+  // behind a short quantum.
+  stats_.paced_admissions++;
+  const uint64_t quantum = std::max<uint64_t>(options_.lag_budget_ns / 2, 1000);
+  SuspendCurrent(now + quantum);
+  return true;
+}
+
+void FiberScheduler::SuspendCurrent(uint64_t deadline_ns) {
+  Fiber* fiber = current_;
+  PANDORA_CHECK(fiber != nullptr);
+  fiber->ready_at_ns = deadline_ns;
+  fiber->runnable_from_ns = std::max(deadline_ns, NowNanos());
+  fiber->seq = ++next_seq_;
+  PushReady(fiber);
+  SwitchOut(fiber);
 }
 
 void FiberScheduler::SwitchIn(Fiber* fiber) {
 #if defined(PANDORA_ASAN_FIBERS)
   __sanitizer_start_switch_fiber(&main_fake_stack_, fiber->stack.get(),
-                                 stack_bytes_);
+                                 options_.stack_bytes);
 #endif
 #if defined(PANDORA_TSAN_FIBERS)
   __tsan_switch_to_fiber(fiber->tsan_fiber, 0);

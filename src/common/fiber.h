@@ -31,6 +31,21 @@ namespace pandora {
 /// simulated-RTT accounting is identical to the blocking implementation;
 /// only the real CPU time of the wait is reclaimed for other fibers.
 ///
+/// Tail fairness: the ready queue is a min-heap on (deadline, yield seq),
+/// so dispatch is earliest-deadline-first in O(log n) regardless of fiber
+/// count. EDF alone cannot starve an overdue fiber, but two second-order
+/// effects can still blow up the tail: (1) the worker thread itself gets
+/// descheduled for a whole OS quantum on an oversubscribed host, stalling
+/// every in-flight fiber at once, and (2) fibers keep *admitting* new work
+/// while the scheduler is already behind on work it has admitted. The
+/// scheduler therefore (a) measures the resume lag of every dispatch
+/// (wall time between a fiber becoming runnable and actually resuming),
+/// (b) optionally yields the OS thread on a fixed CPU cadence so a
+/// co-scheduled sibling worker is never blocked for a full OS quantum, and
+/// (c) offers PaceAdmission(), which lets a fiber donate its slice to the
+/// backlog instead of starting new work whenever the oldest runnable
+/// fiber is overdue past a configurable lag budget.
+///
 /// Threads that never install a scheduler (unit tests, the litmus
 /// harness's lockstep slots, recovery and heartbeat threads) are
 /// untouched: the wait hook is inert without a thread-local scheduler.
@@ -47,11 +62,38 @@ class FiberScheduler {
     /// overlap (a single fiber), ~N means N waits hidden behind each
     /// other.
     uint64_t idle_ns = 0;
+    /// Fiber dispatches (resumes after a suspension; first runs excluded).
+    uint64_t resumes = 0;
+    /// Worst resume lag observed: wall nanoseconds between a fiber
+    /// becoming runnable (its deadline passing) and the scheduler actually
+    /// dispatching it. The starvation metric behind the fibers8 p99 gate.
+    uint64_t max_resume_lag_ns = 0;
+    /// Dispatches whose resume lag exceeded Options::lag_budget_ns.
+    uint64_t lag_budget_overruns = 0;
+    /// Times PaceAdmission() deferred new work because the oldest
+    /// runnable fiber was overdue past the lag budget.
+    uint64_t paced_admissions = 0;
+    /// Cooperative OS-thread yields taken on the os_yield_every_ns cadence.
+    uint64_t os_yields = 0;
   };
 
   static constexpr size_t kDefaultStackBytes = 256 * 1024;
 
+  struct Options {
+    size_t stack_bytes = kDefaultStackBytes;
+    /// Resume lag past which PaceAdmission() defers new admissions (and
+    /// past which a dispatch counts as a lag_budget_overrun). 0 disables
+    /// pacing and overrun accounting; max_resume_lag_ns is always kept.
+    uint64_t lag_budget_ns = 0;
+    /// Yield the OS thread after at least this much scheduler CPU time,
+    /// even when fibers are always runnable, so a sibling worker thread on
+    /// an oversubscribed core is not stalled for a full OS quantum (the
+    /// dominant fiber tail-latency term when threads > cores). 0 = never.
+    uint64_t os_yield_every_ns = 0;
+  };
+
   explicit FiberScheduler(size_t stack_bytes = kDefaultStackBytes);
+  explicit FiberScheduler(const Options& options);
   ~FiberScheduler();
 
   FiberScheduler(const FiberScheduler&) = delete;
@@ -78,6 +120,16 @@ class FiberScheduler {
   /// from inside a fiber.
   void WaitUntilNanos(uint64_t deadline_ns);
 
+  /// Admission pacing (bounded in-flight work): call from a fiber before
+  /// starting a NEW unit of work. If the oldest runnable sibling is
+  /// overdue past the lag budget, the calling fiber suspends for a short
+  /// quantum — donating its slice to the backlog — and true is returned;
+  /// the caller should re-check its own stop conditions before retrying.
+  /// No-op (returns false) when no lag budget is configured or nothing is
+  /// overdue. Unlike WaitUntilNanos, the pacing suspension is NOT counted
+  /// as simulated wait (a blocking implementation has no analogue).
+  bool PaceAdmission();
+
   const Stats& stats() const { return stats_; }
   size_t num_fibers() const { return fibers_.size(); }
 
@@ -88,13 +140,24 @@ class FiberScheduler {
   void SwitchIn(Fiber* fiber);         // Scheduler context -> fiber.
   void SwitchOut(Fiber* fiber);        // Fiber -> scheduler context.
   void FinishSwitchIntoFiber(Fiber* fiber);  // Sanitizer arrival hook.
-  Fiber* PickNext();  // Earliest-deadline non-done fiber, FIFO tie-break.
+  /// Pops the earliest-deadline fiber (FIFO tie-break) off the ready
+  /// heap; nullptr when no fiber remains. O(log n).
+  Fiber* PickNext();
+  static bool ResumesAfter(const Fiber* a, const Fiber* b);
+  /// Re-queues the current fiber with the given deadline and switches to
+  /// the scheduler. Wait/pacing accounting is done by the callers.
+  void SuspendCurrent(uint64_t deadline_ns);
+  void PushReady(Fiber* fiber);
+  void MaybeYieldOsThread(uint64_t now_ns);
 
-  size_t stack_bytes_;
+  Options options_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
+  /// Min-heap of runnable/suspended fibers on (ready_at_ns, seq).
+  std::vector<Fiber*> ready_;
   Fiber* current_ = nullptr;
   ucontext_t main_context_;
   uint64_t next_seq_ = 0;
+  uint64_t last_os_yield_ns_ = 0;
   Stats stats_;
 
   // Sanitizer bookkeeping for the scheduler (thread) context.

@@ -5,11 +5,12 @@
 namespace pandora {
 
 int LatencyHistogram::BucketFor(uint64_t nanos) {
+  // Values below kSubBuckets are exact (one bucket per value).
   if (nanos < kSubBuckets) return static_cast<int>(nanos);
   const int octave = 63 - __builtin_clzll(nanos);
-  // Two bits below the leading bit select the sub-bucket.
-  const int sub =
-      static_cast<int>((nanos >> (octave - 2)) & (kSubBuckets - 1));
+  // The kSubBucketShift bits below the leading bit select the sub-bucket.
+  const int sub = static_cast<int>(
+      (nanos >> (octave - kSubBucketShift)) & (kSubBuckets - 1));
   const int bucket = octave * kSubBuckets + sub;
   return std::min(bucket, kBuckets - 1);
 }
@@ -17,9 +18,9 @@ int LatencyHistogram::BucketFor(uint64_t nanos) {
 uint64_t LatencyHistogram::BucketLowerBound(int bucket) {
   const int octave = bucket / kSubBuckets;
   const int sub = bucket % kSubBuckets;
-  if (octave == 0) return static_cast<uint64_t>(sub);
+  if (octave < kSubBucketShift) return static_cast<uint64_t>(bucket);
   return (1ULL << octave) |
-         (static_cast<uint64_t>(sub) << (octave - 2));
+         (static_cast<uint64_t>(sub) << (octave - kSubBucketShift));
 }
 
 void LatencyHistogram::Record(uint64_t nanos) {
@@ -41,8 +42,24 @@ uint64_t LatencyHistogram::PercentileNanos(double p) const {
   const double target = static_cast<double>(total_) * p / 100.0;
   uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    const uint64_t seen_before = seen;
     seen += counts_[b];
-    if (static_cast<double>(seen) >= target) return BucketLowerBound(b);
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate linearly within the bucket: the target rank's offset
+    // into this bucket's population maps onto [lower, upper).
+    const uint64_t lower = BucketLowerBound(b);
+    const uint64_t upper =
+        b + 1 < kBuckets ? BucketLowerBound(b + 1) : max_ + 1;
+    const double frac =
+        (target - static_cast<double>(seen_before)) /
+        static_cast<double>(counts_[b]);
+    uint64_t value =
+        lower + static_cast<uint64_t>(
+                    static_cast<double>(upper - lower) *
+                    std::min(std::max(frac, 0.0), 1.0));
+    // Never report past the recorded maximum (the top bucket is open).
+    return std::min(value, max_);
   }
   return max_;
 }

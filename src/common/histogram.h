@@ -6,9 +6,11 @@
 
 namespace pandora {
 
-/// Log-bucketed latency histogram (4 sub-buckets per power of two, so
-/// percentile error is bounded by ~25%). Single-writer; merge across
-/// threads at the end of a run.
+/// Log-bucketed latency histogram: 16 sub-buckets per power of two, so a
+/// bucket spans at most 1/16 of its value (~6.25%), and percentiles are
+/// linearly interpolated inside the target bucket — tight enough that
+/// millisecond-scale p99 regression gates are not quantization artifacts.
+/// Single-writer; merge across threads at the end of a run.
 class LatencyHistogram {
  public:
   LatencyHistogram() { counts_.fill(0); }
@@ -24,13 +26,16 @@ class LatencyHistogram {
                              static_cast<double>(total_);
   }
 
-  /// Approximate latency at percentile `p` in [0, 100].
+  /// Approximate latency at percentile `p` in [0, 100]. Interpolated
+  /// within the target bucket; max relative error is bounded by the
+  /// bucket width (1/16 of the value).
   uint64_t PercentileNanos(double p) const;
 
   uint64_t MaxNanos() const { return max_; }
 
  private:
-  static constexpr int kSubBuckets = 4;
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kSubBucketShift = 4;  // log2(kSubBuckets)
   static constexpr int kOctaves = 64;
   static constexpr int kBuckets = kSubBuckets * kOctaves;
 

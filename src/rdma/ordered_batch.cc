@@ -54,5 +54,14 @@ Status OrderedBatch::Execute(uint64_t extra_rtt_ns) {
   return result;
 }
 
+Status OrderedBatch::Collect() {
+  Status result = first_error_;
+  first_error_ = Status::OK();
+  statuses_.clear();
+  max_rtt_ns_ = 0;
+  errored_ = false;
+  return result;
+}
+
 }  // namespace rdma
 }  // namespace pandora

@@ -42,9 +42,21 @@ class OrderedBatch {
                      uint64_t desired, uint64_t* observed);
 
   /// Waits out one max-RTT for the whole chain (plus `extra_rtt_ns`, for a
-  /// VerbBatch to other servers riding the same doorbell group) and returns
-  /// the first verb error, if any. Resets the chain for reuse.
+  /// VerbBatch or sibling chains to other servers riding the same doorbell
+  /// group) and returns the first verb error, if any. Resets the chain for
+  /// reuse.
   Status Execute(uint64_t extra_rtt_ns = 0);
+
+  /// Max RTT of the verbs posted so far. Lets this chain ride another
+  /// chain's doorbell group: the other chain executes with this value as
+  /// extra_rtt_ns and this one is drained with Collect() — one shared
+  /// max-RTT wait covers both.
+  uint64_t pending_max_rtt_ns() const { return max_rtt_ns_; }
+
+  /// Completes the chain WITHOUT waiting (its RTT was paid by another
+  /// batch's Execute in the same doorbell group). Returns the first verb
+  /// error and resets the chain, like Execute.
+  Status Collect();
 
   /// Per-verb completion status, valid until the next Execute(). Verbs
   /// after a failed verb report Aborted("work request flushed").

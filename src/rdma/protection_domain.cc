@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/atomic_copy.h"
+#include "common/logging.h"
 
 namespace pandora {
 namespace rdma {
@@ -11,15 +12,19 @@ ProtectionDomain::ProtectionDomain(NodeId owner) : owner_(owner) {}
 
 RKey ProtectionDomain::RegisterRegion(size_t size, std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
-  const RKey rkey = static_cast<RKey>(regions_.size());
-  regions_.push_back(
-      std::make_unique<MemoryRegion>(rkey, size, std::move(name)));
+  const uint32_t index = num_regions_.load(std::memory_order_relaxed);
+  PANDORA_CHECK(index < kMaxRegions);
+  const RKey rkey = static_cast<RKey>(index);
+  regions_[index] =
+      std::make_unique<MemoryRegion>(rkey, size, std::move(name));
+  // Publish the slot: data-path readers acquire num_regions_ and only then
+  // dereference regions_[rkey].
+  num_regions_.store(index + 1, std::memory_order_release);
   return rkey;
 }
 
 MemoryRegion* ProtectionDomain::GetRegion(RKey rkey) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (rkey >= regions_.size()) return nullptr;
+  if (rkey >= num_regions_.load(std::memory_order_acquire)) return nullptr;
   return regions_[rkey].get();
 }
 
@@ -40,14 +45,10 @@ Status ProtectionDomain::Check(NodeId src, RKey rkey, uint64_t offset,
   if (revoked_.Test(src)) {
     return Status::PermissionDenied("RDMA rights revoked (link terminated)");
   }
-  const MemoryRegion* r;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (rkey >= regions_.size()) {
-      return Status::InvalidArgument("unknown rkey");
-    }
-    r = regions_[rkey].get();
+  if (rkey >= num_regions_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("unknown rkey");
   }
+  const MemoryRegion* r = regions_[rkey].get();
   if (!r->Contains(offset, len)) {
     return Status::InvalidArgument("access outside region bounds");
   }

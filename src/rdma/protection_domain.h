@@ -1,11 +1,12 @@
 #ifndef PANDORA_RDMA_PROTECTION_DOMAIN_H_
 #define PANDORA_RDMA_PROTECTION_DOMAIN_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <vector>
 
 #include "common/fixed_bitset.h"
 #include "common/status.h"
@@ -74,9 +75,17 @@ class ProtectionDomain {
   Status Check(NodeId src, RKey rkey, uint64_t offset, size_t len,
                size_t alignment, const MemoryRegion** region) const;
 
+  /// Registered regions. Registration is control-path only; the data path
+  /// reads `num_regions_` with acquire ordering and indexes the fixed
+  /// array lock-free — a verb must never take a mutex, since every
+  /// simulated RDMA operation of every compute thread funnels through
+  /// here and a contended lock would dominate the modelled sub-µs verbs.
+  static constexpr size_t kMaxRegions = 256;
+
   NodeId owner_;
-  mutable std::mutex mu_;  // Guards regions_ growth (control path only).
-  std::vector<std::unique_ptr<MemoryRegion>> regions_;
+  std::mutex mu_;  // Serializes RegisterRegion (control path only).
+  std::array<std::unique_ptr<MemoryRegion>, kMaxRegions> regions_;
+  std::atomic<uint32_t> num_regions_{0};
   AtomicFixedBitset<kMaxNodes> revoked_;
   std::atomic<bool> halted_{false};
 };

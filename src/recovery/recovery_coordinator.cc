@@ -9,7 +9,6 @@
 #include "common/logging.h"
 #include "store/object_header.h"
 #include "store/remote_object.h"
-#include "txn/log_writer.h"
 
 namespace pandora {
 namespace recovery {
@@ -239,14 +238,17 @@ Status RecoveryCoordinator::RecoverCoordinatorLogs(uint16_t coord_id,
                                                    RecoveryStats* stats) {
   const uint64_t start = NowNanos();
 
+  // Scan every memory server's log area for this coordinator. Pandora's
+  // legacy path confines records to the f+1 designated log servers, but
+  // the merged commit doorbell places them on the transaction's touched
+  // data servers instead (any union of replica sets is >= f+1), and the
+  // baselines scatter per-object records everywhere — scanning all nodes
+  // covers all three placements with the same one-read-per-server cost
+  // profile, just over more servers.
+  (void)mode;
   std::vector<rdma::NodeId> servers;
-  if (mode == txn::ProtocolMode::kPandora) {
-    servers = txn::LogWriter::LogServersFor(*cluster_, coord_id);
-  } else {
-    // Per-object placement scatters records across all memory servers.
-    for (uint32_t m = 0; m < cluster_->num_memory_nodes(); ++m) {
-      servers.push_back(cluster_->memory_node_id(m));
-    }
+  for (uint32_t m = 0; m < cluster_->num_memory_nodes(); ++m) {
+    servers.push_back(cluster_->memory_node_id(m));
   }
 
   std::vector<store::LogRecord> records;

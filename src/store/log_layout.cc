@@ -19,7 +19,7 @@ constexpr uint64_t kRecordInvalid = 0;
 //   [8]  txn_id           (8B)
 //   [16] coord_id (4B) | num_entries (4B)
 //   [24] payload_bytes    (8B)  -- bytes of entry payload after checksum
-//   [32] checksum         (8B)  -- FNV-1a over header[8..32) + payload
+//   [32] checksum         (8B)  -- word-folded FNV-1a over header[8..32) + payload
 //   [40] payload: per entry
 //        table (4B) | flags (4B) | key (8B) | old_header (8B)
 //        | value_bytes (8B) | value (padded to 8B)
@@ -38,10 +38,25 @@ size_t EntrySerializedSize(const LogEntry& e) {
 
 uint64_t InvalidRecordMarker() { return kRecordInvalid; }
 
+size_t LogRecordHeaderBytes() { return kRecordHeaderBytes; }
+
+size_t LogEntrySerializedSize(const LogEntry& entry) {
+  return EntrySerializedSize(entry);
+}
+
 Status SerializeLogRecord(const LogRecord& record, uint32_t slot_bytes,
                           std::vector<char>* buf) {
+  return SerializeLogRecordSpan(record, 0, record.entries.size(),
+                                slot_bytes, buf);
+}
+
+Status SerializeLogRecordSpan(const LogRecord& record, size_t first,
+                              size_t count, uint32_t slot_bytes,
+                              std::vector<char>* buf) {
   size_t total = kRecordHeaderBytes;
-  for (const LogEntry& e : record.entries) total += EntrySerializedSize(e);
+  for (size_t i = first; i < first + count; ++i) {
+    total += EntrySerializedSize(record.entries[i]);
+  }
   if (total > slot_bytes) {
     return Status::ResourceExhausted(
         "log record exceeds slot size; raise LogConfig::slot_bytes");
@@ -51,11 +66,12 @@ Status SerializeLogRecord(const LogRecord& record, uint32_t slot_bytes,
   EncodeFixed64(p + 0, kRecordMagic);
   EncodeFixed64(p + 8, record.txn_id);
   EncodeFixed32(p + 16, record.coord_id);
-  EncodeFixed32(p + 20, static_cast<uint32_t>(record.entries.size()));
+  EncodeFixed32(p + 20, static_cast<uint32_t>(count));
   EncodeFixed64(p + 24, static_cast<uint64_t>(total - kRecordHeaderBytes));
 
   char* q = p + kRecordHeaderBytes;
-  for (const LogEntry& e : record.entries) {
+  for (size_t i = first; i < first + count; ++i) {
+    const LogEntry& e = record.entries[i];
     uint32_t flags = 0;
     if (e.is_insert) flags |= kFlagInsert;
     if (e.is_delete) flags |= kFlagDelete;
@@ -75,10 +91,64 @@ Status SerializeLogRecord(const LogRecord& record, uint32_t slot_bytes,
   // Checksum covers everything except the magic and the checksum itself, so
   // a torn write of any byte is detected.
   const uint64_t checksum =
-      Fnv1a64(p + 8, 24) ^
-      Fnv1a64(p + kRecordHeaderBytes, total - kRecordHeaderBytes);
+      Fnv1a64Words(p + 8, 24) ^
+      Fnv1a64Words(p + kRecordHeaderBytes, total - kRecordHeaderBytes);
   EncodeFixed64(p + 32, checksum);
   return Status::OK();
+}
+
+LogRecordWriter::LogRecordWriter(uint64_t txn_id, uint16_t coord_id,
+                                 uint32_t slot_bytes,
+                                 std::vector<char>* buf)
+    : slot_bytes_(slot_bytes), buf_(buf) {
+  buf_->resize(kRecordHeaderBytes);
+  char* p = buf_->data();
+  EncodeFixed64(p + 0, kRecordMagic);
+  EncodeFixed64(p + 8, txn_id);
+  EncodeFixed32(p + 16, coord_id);
+  // num_entries, payload_bytes and checksum are sealed by Finish().
+}
+
+bool LogRecordWriter::AddEntry(TableId table, Key key, uint64_t old_version,
+                               bool is_insert, bool is_delete,
+                               const void* old_value,
+                               size_t old_value_len) {
+  const size_t padded_value = AlignUp(old_value_len, 8);
+  const size_t entry_bytes = kEntryFixedBytes + padded_value;
+  const size_t used = buf_->size();
+  if (used + entry_bytes > slot_bytes_) return false;
+  buf_->resize(used + entry_bytes);
+  char* q = buf_->data() + used;
+  uint32_t flags = 0;
+  if (is_insert) flags |= kFlagInsert;
+  if (is_delete) flags |= kFlagDelete;
+  EncodeFixed32(q + 0, table);
+  EncodeFixed32(q + 4, flags);
+  EncodeFixed64(q + 8, key);
+  EncodeFixed64(q + 16, old_version);
+  EncodeFixed64(q + 24, static_cast<uint64_t>(old_value_len));
+  if (old_value_len > 0) {
+    std::memcpy(q + kEntryFixedBytes, old_value, old_value_len);
+  }
+  if (padded_value > old_value_len) {
+    // Zero the alignment padding: it is covered by the checksum.
+    std::memset(q + kEntryFixedBytes + old_value_len, 0,
+                padded_value - old_value_len);
+  }
+  ++entries_;
+  return true;
+}
+
+void LogRecordWriter::Finish() {
+  char* p = buf_->data();
+  EncodeFixed32(p + 20, static_cast<uint32_t>(entries_));
+  const uint64_t payload =
+      static_cast<uint64_t>(buf_->size() - kRecordHeaderBytes);
+  EncodeFixed64(p + 24, payload);
+  const uint64_t checksum =
+      Fnv1a64Words(p + 8, 24) ^
+      Fnv1a64Words(p + kRecordHeaderBytes, payload);
+  EncodeFixed64(p + 32, checksum);
 }
 
 Status ParseLogRecord(const char* slot_image, uint32_t slot_bytes,
@@ -98,8 +168,8 @@ Status ParseLogRecord(const char* slot_image, uint32_t slot_bytes,
     return Status::Corruption("log record payload length out of range");
   }
   const uint64_t expected =
-      Fnv1a64(slot_image + 8, 24) ^
-      Fnv1a64(slot_image + kRecordHeaderBytes, payload_bytes);
+      Fnv1a64Words(slot_image + 8, 24) ^
+      Fnv1a64Words(slot_image + kRecordHeaderBytes, payload_bytes);
   if (expected != DecodeFixed64(slot_image + 32)) {
     return Status::Corruption("log record checksum mismatch (torn write)");
   }

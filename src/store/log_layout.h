@@ -96,11 +96,55 @@ struct LogRecord {
   std::vector<LogEntry> entries;
 };
 
+/// Serialized-size bookkeeping, exposed so the log writer can pack a
+/// record into slot-sized fragments with O(entries) size accounting
+/// instead of O(entries²) trial serialization.
+size_t LogRecordHeaderBytes();
+size_t LogEntrySerializedSize(const LogEntry& entry);
+
 /// Serializes `record` into `buf` (which must hold at least `slot_bytes`).
 /// Returns ResourceExhausted if the record does not fit. The serialized
 /// image is 8-byte aligned and carries a magic word and checksum.
 Status SerializeLogRecord(const LogRecord& record, uint32_t slot_bytes,
                           std::vector<char>* buf);
+
+/// Serializes only entries [first, first + count) of `record` — the
+/// fragmenting path: fragments share the record's txn_id/coord_id and
+/// recovery merges them back by transaction id.
+Status SerializeLogRecordSpan(const LogRecord& record, size_t first,
+                              size_t count, uint32_t slot_bytes,
+                              std::vector<char>* buf);
+
+/// Streaming serializer producing the same wire image as
+/// SerializeLogRecordSpan, but fed entry by entry straight from the
+/// coordinator's write set — the hot commit path uses it to skip building
+/// an intermediate LogRecord (whose per-entry value strings are a pure
+/// copy + cache-miss tax). Usage: construct over a reused buffer, AddEntry
+/// until it reports the slot is full (start the next fragment then), and
+/// Finish() to seal header fields and checksum.
+class LogRecordWriter {
+ public:
+  LogRecordWriter(uint64_t txn_id, uint16_t coord_id, uint32_t slot_bytes,
+                  std::vector<char>* buf);
+
+  /// Appends one entry. Returns false — without writing — when the entry
+  /// does not fit the remaining slot space; a false return from a
+  /// fresh writer means the entry alone exceeds the slot size.
+  bool AddEntry(TableId table, Key key, uint64_t old_version,
+                bool is_insert, bool is_delete, const void* old_value,
+                size_t old_value_len);
+
+  size_t entries() const { return entries_; }
+
+  /// Seals num_entries / payload_bytes / checksum. The buffer then holds
+  /// exactly the serialized fragment.
+  void Finish();
+
+ private:
+  uint32_t slot_bytes_;
+  std::vector<char>* buf_;
+  size_t entries_ = 0;
+};
 
 /// Parses the record in a slot image. Returns:
 ///  - OK and fills `record` for a valid record,

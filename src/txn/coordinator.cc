@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <memory>
 
 #include "common/checksum.h"
 #include "common/clock.h"
@@ -130,7 +131,14 @@ Status Coordinator::ResolveSlot(store::TableId table, store::Key key,
                                 rdma::NodeId node, bool claim_for_insert,
                                 uint64_t* slot, bool* existed,
                                 uint64_t* rtt_counter) {
-  if (const auto cached = cluster_->addresses().Lookup(table, node, key)) {
+  const cluster::AddressCache& shared = cluster_->addresses();
+  if (const auto cached = local_addresses_.Lookup(shared, table, node, key)) {
+    *slot = *cached;
+    *existed = true;
+    return Status::OK();
+  }
+  if (const auto cached = shared.Lookup(table, node, key)) {
+    local_addresses_.Insert(shared, table, node, key, *cached);
     *slot = *cached;
     *existed = true;
     return Status::OK();
@@ -157,6 +165,7 @@ Status Coordinator::ResolveSlot(store::TableId table, store::Key key,
   PANDORA_RETURN_NOT_OK(status);
   *slot = state.slot;
   cluster_->addresses().InsertOverlay(table, node, key, state.slot);
+  local_addresses_.Insert(shared, table, node, key, state.slot);
   return Status::OK();
 }
 
@@ -610,7 +619,11 @@ Status Coordinator::ReadRangeBatched(
     if (node == rdma::kInvalidNodeId) {
       return Status::Internal("all replicas of object lost (> f failures)");
     }
-    if (const auto cached = cluster_->addresses().Lookup(table, node, key)) {
+    const cluster::AddressCache& shared = cluster_->addresses();
+    if (const auto local = local_addresses_.Lookup(shared, table, node, key)) {
+      targets.push_back({key, node, *local});
+    } else if (const auto cached = shared.Lookup(table, node, key)) {
+      local_addresses_.Insert(shared, table, node, key, *cached);
       targets.push_back({key, node, *cached});
     } else {
       probes.push_back(
@@ -651,6 +664,8 @@ Status Coordinator::ReadRangeBatched(
         target.slot = outcomes[i].state.slot;
         cluster_->addresses().InsertOverlay(table, target.node, target.key,
                                             target.slot);
+        local_addresses_.Insert(cluster_->addresses(), table, target.node,
+                                target.key, target.slot);
         targets.push_back(target);
       }
     }
@@ -817,21 +832,28 @@ Status Coordinator::Delete(store::TableId table, store::Key key) {
   return Status::OK();
 }
 
-store::LogRecord Coordinator::BuildCoordinatorRecord() const {
-  store::LogRecord record;
+const store::LogRecord& Coordinator::BuildCoordinatorRecord() {
+  store::LogRecord& record = record_scratch_;
   record.txn_id = txn_id_;
   record.coord_id = coord_id_;
+  size_t n = 0;
   for (const WriteOp& op : write_set_) {
     if (op.is_insert && config_.bugs.missing_insert_logging) continue;
-    store::LogEntry entry;
+    if (n == record.entries.size()) record.entries.emplace_back();
+    store::LogEntry& entry = record.entries[n++];
     entry.table = op.table;
     entry.key = op.key;
     entry.old_version = op.old_version;
     entry.is_insert = op.is_insert;
     entry.is_delete = op.is_delete;
-    if (!op.is_insert) entry.old_value = op.old_value;
-    record.entries.push_back(std::move(entry));
+    entry.is_lock_intent = false;
+    if (op.is_insert) {
+      entry.old_value.clear();
+    } else {
+      entry.old_value.assign(op.old_value.begin(), op.old_value.end());
+    }
   }
+  record.entries.resize(n);
   return record;
 }
 
@@ -911,6 +933,8 @@ Status Coordinator::Commit() {
 }
 
 Status Coordinator::CommitInternal() {
+  if (merged_commit_enabled()) return CommitMergedInternal();
+
   // ---- Logging + validation, overlapped in one doorbell (§3.1.4-3.1.5:
   // logging costs no extra round trip on the commit path).
   rdma::VerbBatch batch;
@@ -1016,6 +1040,191 @@ Status Coordinator::CommitInternal() {
   return Status::OK();
 }
 
+Status Coordinator::CommitMergedInternal() {
+  // ---- Validation first. Because the commit decision is reached before
+  // any log write below, an abort here needs no truncation round trip:
+  // coord_log_slots_ stays empty and AbortInternal only releases locks.
+  if (!read_set_.empty()) {
+    rdma::VerbBatch vbatch;
+    std::vector<ValidationRead> vreads;
+    PANDORA_RETURN_NOT_OK(PostValidationReads(&vbatch, &vreads));
+    if (vbatch.size() > 0) CountRtts(&stats_.commit_rtts, 1);
+    Status status = vbatch.Execute();
+    if (status.IsUnavailable() && server_->halted()) return status;
+    status = CheckValidation(vreads);
+    if (status.IsUnavailable() && server_->halted()) return status;
+    if (!status.ok()) {
+      stats_.validation_failures++;
+      Status abort_status = AbortInternal();
+      if (abort_status.IsUnavailable()) return abort_status;
+      return Status::Aborted(status.message());
+    }
+  }
+
+  if (write_set_.empty()) {
+    // Read-only transaction: validation was the whole commit.
+    if (ack_callback_) ack_callback_(txn_id_, true);
+    stats_.committed++;
+    FinishTxn();
+    return Status::OK();
+  }
+
+  // ---- Decision reached: commit. The undo-log record, every replica
+  // apply, and the unlocks merge into ONE doorbell group — an ordered
+  // chain per touched memory server (whose union covers ≥ f+1 replicas of
+  // every write-set object, so the record survives f failures without the
+  // designated-server rider). RC in-order delivery makes a server's
+  // unlock apply only after its log fragments and its applies; the
+  // cross-server post order (all fragments, then all applies, then all
+  // unlocks) means a coordinator crash mid-group leaves either a
+  // not-yet-applied state recovery rolls back, or a fully-applied state
+  // (any unlock posted implies every apply was posted) recovery rolls
+  // forward. See DESIGN.md "Merged commit doorbell".
+  const bool log_record = !config_.disable_recovery_logging;
+  size_t num_fragments = 0;
+  if (log_record) {
+    // Serialize fragments straight from the write set (no intermediate
+    // LogRecord): with a hundred-plus coordinators sharing a core, every
+    // per-coordinator scratch structure is cache-cold by its next commit,
+    // so the copy into record entries was pure miss tax.
+    const store::LogConfig& log_config =
+        cluster_->catalog().log_layout().config();
+    log_writer_.BeginPrepare();
+    bool overflow = false;
+    store::LogRecordWriter writer(txn_id_, coord_id_,
+                                  log_config.slot_bytes,
+                                  log_writer_.AcquireBuffer());
+    for (const WriteOp& op : write_set_) {
+      const size_t old_len = op.is_insert ? 0 : op.old_value.size();
+      const void* old_data = old_len > 0 ? op.old_value.data() : nullptr;
+      if (writer.AddEntry(op.table, op.key, op.old_version, op.is_insert,
+                          op.is_delete, old_data, old_len)) {
+        continue;
+      }
+      // Fragment full: seal it and start the next one.
+      writer.Finish();
+      ++num_fragments;
+      writer = store::LogRecordWriter(txn_id_, coord_id_,
+                                      log_config.slot_bytes,
+                                      log_writer_.AcquireBuffer());
+      if (!writer.AddEntry(op.table, op.key, op.old_version, op.is_insert,
+                           op.is_delete, old_data, old_len)) {
+        overflow = true;  // Single entry exceeds the slot size.
+        break;
+      }
+    }
+    writer.Finish();
+    ++num_fragments;
+    if (overflow || num_fragments > log_config.slots_per_coordinator) {
+      // Write-set larger than the coordinator's log area: abort cleanly.
+      Status abort_status = AbortInternal();
+      if (abort_status.IsUnavailable()) return abort_status;
+      return Status::Aborted(
+          "write-set exceeds the coordinator's log area");
+    }
+  }
+
+  BuildApplyBufs();
+
+  const std::vector<rdma::NodeId> touched = TouchedReplicaServers();
+  std::vector<std::unique_ptr<rdma::OrderedBatch>> chains;
+  chains.reserve(touched.size());
+  for (const rdma::NodeId node : touched) {
+    chains.push_back(
+        std::make_unique<rdma::OrderedBatch>(server_->qp(node)));
+  }
+  auto chain_for = [&](rdma::NodeId node) -> rdma::OrderedBatch* {
+    const auto it = std::lower_bound(touched.begin(), touched.end(), node);
+    return chains[static_cast<size_t>(it - touched.begin())].get();
+  };
+
+  // 1) Log fragments, on every touched server.
+  if (log_record) {
+    const store::LogLayout& log_layout = cluster_->catalog().log_layout();
+    for (size_t i = 0; i < touched.size(); ++i) {
+      const rdma::NodeId node = touched[i];
+      if (!cluster_->membership().IsMemoryAlive(node)) continue;
+      // Fragments reuse slots [0, num_fragments) every commit instead of
+      // round-robining the whole ring: a merged commit posts the record
+      // and its applies in one doorbell group, so at most one in-flight
+      // record exists per coordinator and the previous txn's (already
+      // applied, benign-stale) record is safe to overwrite. The small
+      // fixed window also keeps these writes in warm cache lines rather
+      // than strobing the 128 KB slot ring on every commit.
+      for (size_t f = 0; f < num_fragments; ++f) {
+        const std::vector<char>& buf = log_writer_.PreparedFragment(f);
+        chains[i]->Write(
+            cluster_->catalog().log_rkey(node),
+            log_layout.SlotOffset(coord_id_, static_cast<uint32_t>(f)),
+            buf.data(), buf.size());
+      }
+    }
+    stats_.log_records_written++;
+  }
+
+  // 2) Replica applies.
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    WriteOp& op = write_set_[i];
+    const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+    for (size_t r = 0; r < op.replicas.size(); ++r) {
+      const rdma::NodeId node = op.replicas[r];
+      if (!cluster_->membership().IsMemoryAlive(node)) continue;
+      chain_for(node)->Write(info.region_rkeys[node],
+                             info.layout.VersionOffset(op.slots[r]),
+                             apply_bufs_[i].data(), apply_bufs_[i].size());
+    }
+  }
+
+  // 3) Unlocks.
+  for (WriteOp& op : write_set_) {
+    if (!op.locked) continue;
+    if (!cluster_->membership().IsMemoryAlive(op.lock_node)) continue;
+    const cluster::TableInfo& info = cluster_->catalog().table(op.table);
+    chain_for(op.lock_node)
+        ->Write(info.region_rkeys[op.lock_node],
+                info.layout.LockOffset(op.lock_slot), &kUnlockedWord,
+                sizeof(kUnlockedWord));
+  }
+
+  // One shared max-RTT wait covers the whole group: the first non-empty
+  // chain pays the max of the sibling chains as extra, the rest drain with
+  // Collect().
+  size_t first = chains.size();
+  uint64_t extra_rtt_ns = 0;
+  for (size_t i = 0; i < chains.size(); ++i) {
+    if (chains[i]->size() == 0) continue;
+    if (first == chains.size()) {
+      first = i;
+    } else {
+      extra_rtt_ns =
+          std::max(extra_rtt_ns, chains[i]->pending_max_rtt_ns());
+    }
+  }
+  if (first < chains.size()) {
+    CountRtts(&stats_.commit_rtts, 1);
+    for (size_t i = first; i < chains.size(); ++i) {
+      if (chains[i]->size() == 0) continue;
+      const Status status = i == first ? chains[i]->Execute(extra_rtt_ns)
+                                       : chains[i]->Collect();
+      if (status.ok()) continue;
+      if (server_->halted()) {
+        return Status::Unavailable("compute node halted");
+      }
+      // The fabric fails verbs only against dead servers; wait for the
+      // membership verdict and skip (§3.2.5: every *live* replica carries
+      // the update — chains to live servers completed in full).
+      PANDORA_RETURN_NOT_OK(ResolveApplyFailure(touched[i]));
+    }
+  }
+
+  // ---- Client ack (Cor3: all live replicas are updated).
+  if (ack_callback_) ack_callback_(txn_id_, true);
+
+  stats_.committed++;
+  FinishTxn();
+  return Status::OK();
+}
+
 Status Coordinator::FlushForPersistence(
     const std::vector<rdma::NodeId>& servers) {
   if (cluster_->config().persistence !=
@@ -1038,10 +1247,7 @@ Status Coordinator::FlushForPersistence(
   return Status::OK();
 }
 
-Status Coordinator::ApplyWrites() {
-  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeCommitApply));
-  if (write_set_.empty()) return Status::OK();
-
+void Coordinator::BuildApplyBufs() {
   // One buffer per op: [version_word][key][value]; identical bytes for the
   // primary and every backup (the lock word is not part of this span, so
   // the primary stays locked until the unlock step).
@@ -1059,6 +1265,13 @@ Status Coordinator::ApplyWrites() {
     std::memcpy(buf.data() + 16, value.data(),
                 std::min(value.size(), buf.size() - 16));
   }
+}
+
+Status Coordinator::ApplyWrites() {
+  PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kBeforeCommitApply));
+  if (write_set_.empty()) return Status::OK();
+
+  BuildApplyBufs();
 
   bool need_repair = false;
   if (!batching_enabled()) {

@@ -193,8 +193,10 @@ class Coordinator {
   // Traditional scheme: lock-intent record before the lock CAS.
   Status WriteLockIntent(const WriteOp& op);
 
-  // Builds the Pandora commit-time record over the whole write-set.
-  store::LogRecord BuildCoordinatorRecord() const;
+  // Builds the Pandora commit-time record over the whole write-set into
+  // `record_scratch_` (entry and undo-image buffers are recycled across
+  // transactions; the hot path must not reallocate per commit).
+  const store::LogRecord& BuildCoordinatorRecord();
 
   // Validation read results (lock+version per read-set entry).
   struct ValidationRead {
@@ -208,6 +210,29 @@ class Coordinator {
   Status CheckValidation(const std::vector<ValidationRead>& reads);
   Status ApplyWrites();
   Status UnlockWriteSet(bool crash_points);
+
+  // Fills apply_bufs_ (one [version][key][value] image per write op).
+  void BuildApplyBufs();
+
+  // Merged commit path (§3.1.4 taken to its conclusion): validate first,
+  // then ride the undo-log record, every replica apply, AND the unlocks in
+  // ONE doorbell group — an ordered chain per touched server. Saves one
+  // full round trip per update transaction over the legacy
+  // log+validate / apply / unlock sequence. See DESIGN.md for the
+  // recovery-invariant argument.
+  Status CommitMergedInternal();
+
+  // The merged path requires doorbell batching, the stock protocol (any
+  // injected FORD bug reorders commit sub-steps the merge would hide), and
+  // a persistence mode whose log writes are durable at completion (NVM
+  // selective flushes must happen between apply and unlock, which the
+  // merge eliminates).
+  bool merged_commit_enabled() const {
+    return batching_enabled() && config_.mode == ProtocolMode::kPandora &&
+           !config_.bugs.AnySet() &&
+           cluster_->config().persistence !=
+               cluster::PersistenceMode::kNvmWithFlush;
+  }
 
   // §7 NVM support: after durable writes landed on `servers`, issue
   // FORD's selective one-sided flush (one small read per server, batched)
@@ -271,6 +296,9 @@ class Coordinator {
 
   cluster::Cluster* cluster_;
   cluster::ComputeServer* server_;
+  // Private L1 over the cluster's shared address cache (epoch-validated
+  // against memory-server rebuilds); single-threaded like the coordinator.
+  cluster::LocalAddressCache local_addresses_;
   uint16_t coord_id_;
   TxnConfig config_;
   SystemGate* gate_;
@@ -294,6 +322,8 @@ class Coordinator {
   std::vector<uint32_t> coord_log_slots_;
   // Reusable commit-apply buffers, one per write op.
   std::vector<std::vector<char>> apply_bufs_;
+  // Reusable coordinator-log record (BuildCoordinatorRecord).
+  store::LogRecord record_scratch_;
 
   TxnStats stats_;
 };

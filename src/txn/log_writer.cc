@@ -36,48 +36,65 @@ uint32_t LogWriter::NextSlot(rdma::NodeId server) {
   return slot;
 }
 
+Status LogWriter::PrepareCoordinatorFragments(const store::LogRecord& record,
+                                              size_t* num_fragments) {
+  const store::LogLayout& layout = cluster_->catalog().log_layout();
+  const uint32_t slot_bytes = layout.config().slot_bytes;
+  const size_t header = store::LogRecordHeaderBytes();
+  prepared_first_ = buffers_used_;
+  *num_fragments = 0;
+
+  // Split into fragments that fit one slot each, packing greedily by wire
+  // size — O(entries) accounting, one serialization per fragment.
+  // Recovery merges fragments of the same txn_id, so one slot per
+  // fragment is all that is needed.
+  auto emit = [&](size_t first, size_t count) -> Status {
+    if (buffers_used_ == buffers_.size()) buffers_.emplace_back();
+    std::vector<char>& buf = buffers_[buffers_used_++];
+    PANDORA_RETURN_NOT_OK(store::SerializeLogRecordSpan(
+        record, first, count, slot_bytes, &buf));
+    (*num_fragments)++;
+    return Status::OK();
+  };
+
+  size_t begin = 0;
+  size_t used = header;
+  for (size_t i = 0; i < record.entries.size(); ++i) {
+    const size_t entry_bytes =
+        store::LogEntrySerializedSize(record.entries[i]);
+    if (header + entry_bytes > slot_bytes) {
+      return Status::ResourceExhausted(
+          "single log entry exceeds slot size; raise "
+          "LogConfig::slot_bytes");
+    }
+    if (used + entry_bytes > slot_bytes) {
+      PANDORA_RETURN_NOT_OK(emit(begin, i - begin));
+      begin = i;
+      used = header;
+    }
+    used += entry_bytes;
+  }
+  // The tail fragment; also the whole record when the entry list is empty
+  // (an all-inserts write-set under the missing-insert-logging bug).
+  PANDORA_RETURN_NOT_OK(emit(begin, record.entries.size() - begin));
+
+  if (*num_fragments > layout.config().slots_per_coordinator) {
+    return Status::ResourceExhausted(
+        "write-set exceeds the coordinator's log area");
+  }
+  return Status::OK();
+}
+
 Status LogWriter::PostCoordinatorRecord(const store::LogRecord& record,
                                         rdma::VerbBatch* batch,
                                         std::vector<uint32_t>* slots) {
   const store::LogLayout& layout = cluster_->catalog().log_layout();
+  size_t num_fragments = 0;
+  PANDORA_RETURN_NOT_OK(
+      PrepareCoordinatorFragments(record, &num_fragments));
 
-  // Split into fragments that fit one slot each. Recovery merges fragments
-  // of the same txn_id, so one slot per fragment is all that is needed.
-  std::vector<store::LogRecord> fragments;
-  store::LogRecord fragment;
-  fragment.txn_id = record.txn_id;
-  fragment.coord_id = record.coord_id;
-  std::vector<char> scratch;
-  for (const store::LogEntry& entry : record.entries) {
-    fragment.entries.push_back(entry);
-    if (SerializeLogRecord(fragment, layout.config().slot_bytes, &scratch)
-            .IsResourceExhausted()) {
-      fragment.entries.pop_back();
-      if (fragment.entries.empty()) {
-        return Status::ResourceExhausted(
-            "single log entry exceeds slot size; raise "
-            "LogConfig::slot_bytes");
-      }
-      fragments.push_back(std::move(fragment));
-      fragment = store::LogRecord();
-      fragment.txn_id = record.txn_id;
-      fragment.coord_id = record.coord_id;
-      fragment.entries.push_back(entry);
-    }
-  }
-  if (!fragment.entries.empty() || fragments.empty()) {
-    fragments.push_back(std::move(fragment));
-  }
-  if (fragments.size() > layout.config().slots_per_coordinator) {
-    return Status::ResourceExhausted(
-        "write-set exceeds the coordinator's log area");
-  }
-
-  for (const store::LogRecord& frag : fragments) {
-    if (buffers_used_ == buffers_.size()) buffers_.emplace_back();
-    std::vector<char>& buf = buffers_[buffers_used_++];
-    PANDORA_RETURN_NOT_OK(
-        SerializeLogRecord(frag, layout.config().slot_bytes, &buf));
+  for (size_t f = 0; f < num_fragments; ++f) {
+    const std::vector<char>& buf = PreparedFragment(f);
     // All designated servers use the same slot index; advance their
     // cursors in lockstep.
     uint32_t chosen = 0;

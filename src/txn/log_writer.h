@@ -55,6 +55,18 @@ class LogWriter {
                                rdma::VerbBatch* batch,
                                std::vector<uint32_t>* slots);
 
+  /// Splits `record` into slot-sized fragments and serializes each one
+  /// exactly once — O(entries) wire-size accounting, no trial
+  /// serialization. The fragments stay valid until ResetForNewTxn() or
+  /// the next Prepare call; read them back with PreparedFragment(). The
+  /// merged-commit path posts them itself (into per-server ordered
+  /// chains) instead of going through PostCoordinatorRecord.
+  Status PrepareCoordinatorFragments(const store::LogRecord& record,
+                                     size_t* num_fragments);
+  const std::vector<char>& PreparedFragment(size_t i) const {
+    return buffers_[prepared_first_ + i];
+  }
+
   /// Posts one single-entry record to each of the object's replica servers.
   /// Appends the (server, slot) pairs written to `written` so the abort
   /// path can invalidate them.
@@ -72,6 +84,17 @@ class LogWriter {
   /// server.
   void PostInvalidateCoordinatorSlot(uint32_t slot, rdma::VerbBatch* batch);
 
+  /// Hot-path fragment assembly without an intermediate LogRecord: the
+  /// merged commit serializes straight from the write set into the reused
+  /// buffer pool via store::LogRecordWriter. BeginPrepare() marks the
+  /// start of the fragment run; AcquireBuffer() hands out one (recycled)
+  /// buffer per fragment, readable back through PreparedFragment().
+  void BeginPrepare() { prepared_first_ = buffers_used_; }
+  std::vector<char>* AcquireBuffer() {
+    if (buffers_used_ == buffers_.size()) buffers_.emplace_back();
+    return &buffers_[buffers_used_++];
+  }
+
   /// Recycles the serialization buffers; call at transaction begin.
   void ResetForNewTxn() { buffers_used_ = 0; }
 
@@ -88,6 +111,8 @@ class LogWriter {
   /// the simulated fabric applies writes at post time.
   std::vector<std::vector<char>> buffers_;
   size_t buffers_used_ = 0;
+  /// First buffer index of the most recent PrepareCoordinatorFragments.
+  size_t prepared_first_ = 0;
   uint64_t invalid_marker_;
 };
 

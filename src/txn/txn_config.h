@@ -122,6 +122,15 @@ struct TxnStats {
   /// when the driver runs without a fiber scheduler). Aggregated from the
   /// per-thread schedulers, not counted by the coordinator itself.
   uint64_t fiber_yields = 0;
+  /// Worst fiber resume lag observed by the drivers' schedulers: wall
+  /// nanoseconds between a fiber becoming runnable and being dispatched.
+  /// The starvation metric behind the fibers8 tail gate (max across
+  /// workers, not a sum; zero without a fiber scheduler).
+  uint64_t max_resume_lag_ns = 0;
+  /// Times a fiber deferred admitting a new transaction because the
+  /// scheduler was overdue past its lag budget on already-admitted work
+  /// (aggregated from the per-thread schedulers, like fiber_yields).
+  uint64_t paced_admissions = 0;
   /// Times an enabled BugFlags deviation actually altered protocol
   /// behavior (a check skipped, a log omitted, an ordering relaxed). The
   /// litmus harness uses this to flag bug flags that were never exercised

@@ -115,14 +115,17 @@ void Driver::FiberWorkerLoop(uint32_t worker_index, uint64_t start_ns,
   const uint32_t fibers = static_cast<uint32_t>(
       std::min<size_t>(config_.fibers_per_thread, mine.size()));
 
-  FiberScheduler scheduler;
+  FiberScheduler::Options options;
+  options.lag_budget_ns = config_.fiber_lag_budget_us * 1000;
+  options.os_yield_every_ns = config_.fiber_os_yield_us * 1000;
+  FiberScheduler scheduler(options);
   for (uint32_t f = 0; f < fibers; ++f) {
     std::vector<Slot*> owned;
     for (size_t i = f; i < mine.size(); i += fibers) {
       owned.push_back(mine[i]);
     }
-    scheduler.Spawn([this, owned = std::move(owned), worker_index, f,
-                     start_ns, deadline_ns, latency] {
+    scheduler.Spawn([this, &scheduler, owned = std::move(owned),
+                     worker_index, f, start_ns, deadline_ns, latency] {
       Random rng(config_.seed * 7919 + worker_index + 131 * (f + 1));
       size_t next = 0;
       size_t skipped = 0;
@@ -162,6 +165,11 @@ void Driver::FiberWorkerLoop(uint32_t worker_index, uint64_t start_ns,
           continue;
         }
         skipped = 0;
+        // Bounded in-flight admission: if the scheduler is overdue past
+        // its lag budget on already-admitted transactions, let the
+        // backlog drain before starting another (the stop/deadline checks
+        // re-run after the pacing suspension).
+        if (scheduler.PaceAdmission()) continue;
         slot->next_allowed_ns = now + config_.pace_us * 1000;
         RunSlotTxn(slot, &rng, start_ns, latency);
       }
@@ -317,6 +325,9 @@ DriverResult Driver::Run() {
     result.fiber_yields += stats.yields;
     result.fiber_wait_ns += stats.wait_ns;
     result.fiber_idle_ns += stats.idle_ns;
+    result.fiber_max_resume_lag_ns =
+        std::max(result.fiber_max_resume_lag_ns, stats.max_resume_lag_ns);
+    result.fiber_paced_admissions += stats.paced_admissions;
   }
   // Idle of zero means every simulated wait was hidden behind another
   // fiber's work (perfect overlap), so divide by at-least-one nanosecond
@@ -347,6 +358,8 @@ DriverResult Driver::Run() {
     }
   }
   result.totals.fiber_yields = result.fiber_yields;
+  result.totals.max_resume_lag_ns = result.fiber_max_resume_lag_ns;
+  result.totals.paced_admissions = result.fiber_paced_admissions;
   return result;
 }
 

@@ -43,6 +43,19 @@ struct DriverConfig {
   /// progress on another — the paper's coordinators-per-core scaling
   /// lever. Simulated RTT accounting is unchanged either way.
   uint32_t fibers_per_thread = 1;
+  /// Tail-fairness lag budget for the fiber scheduler (ignored at 1
+  /// fiber): before admitting a NEW transaction, a fiber checks whether
+  /// the oldest runnable sibling is overdue past this budget and, if so,
+  /// donates its slice to the backlog instead (bounded in-flight
+  /// admission pacing). 0 disables pacing.
+  uint64_t fiber_lag_budget_us = 150;
+  /// Cooperative OS-thread yield cadence inside the fiber scheduler: with
+  /// more worker threads than cores, a fiber worker that never blocks
+  /// (fibers soak every simulated wait) would hold the core for full OS
+  /// quanta (milliseconds), stalling the sibling worker's fibers — the
+  /// dominant fibers8 p99 term. Yielding every ~50 µs of scheduler CPU
+  /// bounds that stall at microsecond scale. 0 disables.
+  uint64_t fiber_os_yield_us = 50;
   txn::TxnConfig txn;
   uint64_t seed = 42;
 };
@@ -80,6 +93,11 @@ struct DriverResult {
   uint64_t fiber_yields = 0;
   uint64_t fiber_wait_ns = 0;
   uint64_t fiber_idle_ns = 0;
+  /// Worst resume lag across all workers' schedulers (max, not sum): how
+  /// long a runnable fiber sat undispatched. The starvation metric.
+  uint64_t fiber_max_resume_lag_ns = 0;
+  /// Admissions deferred by lag-budget pacing, summed over workers.
+  uint64_t fiber_paced_admissions = 0;
   /// fiber_wait_ns / max(fiber_idle_ns, 1): how many overlapped waits
   /// each truly-idle nanosecond paid for. ~1 = no overlap; ~N = N-way
   /// overlap; very large = the scheduler always had a runnable fiber

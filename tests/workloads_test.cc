@@ -315,6 +315,11 @@ constexpr bool kSanitizerBuild = false;
 #endif
 constexpr double kMinFiberSpeedup = kSanitizerBuild ? 1.5 : 2.0;
 constexpr uint64_t kFiberTestOneWayNs = kSanitizerBuild ? 50'000 : 5'000;
+// Tail bound for the oversubscribed fiber run (p99 <= ratio * p50). The
+// bench gate enforces 4x at full scale; test scale is shorter and noisier
+// (and sanitizer CPU inflation compresses the wait/CPU ratio), so the
+// regression bar here is looser — pure-EDF starvation produced ~30x.
+constexpr double kMaxFiberTailRatio = kSanitizerBuild ? 12.0 : 6.0;
 
 TEST_F(WorkloadsTest, DriverFibersOverlapSimulatedLatency) {
   // The tentpole acceptance check: under a 5 µs one-way simulated
@@ -429,6 +434,51 @@ TEST_F(WorkloadsTest, FiberDriverHonorsPacing) {
   // immediate start each; aborts only lower the committed count.
   EXPECT_GT(result.committed, 100u);
   EXPECT_LE(result.committed, 8u * (200'000u / 500u) + 8u);
+}
+
+TEST_F(WorkloadsTest, FiberDriverBoundsTailLatency) {
+  // The tail-starvation regression test behind the fibers8 bench gate:
+  // pure-EDF admission kept admitting fresh transactions while an
+  // already-admitted runnable fiber sat unscheduled for milliseconds,
+  // pushing p99 to ~30x p50. The lag-budgeted heap scheduler (bounded
+  // admission pacing + periodic OS yields) must keep the oversubscribed
+  // run's p99 within a small multiple of its p50.
+  MicroConfig config;
+  config.num_keys = 20'000;
+  config.write_percent = 50;
+  MicroWorkload micro(config);
+  cluster::ClusterConfig cluster_config = TestClusterConfig();
+  cluster_config.net.one_way_ns = kFiberTestOneWayNs;
+  cluster_ = std::make_unique<cluster::Cluster>(cluster_config);
+  ASSERT_TRUE(micro.Setup(cluster_.get()).ok());
+  manager_ = std::make_unique<recovery::RecoveryManager>(
+      cluster_.get(), TestRmConfig(), &gate_);
+  manager_->Start();
+
+  DriverConfig driver_config;
+  driver_config.threads = 2;
+  driver_config.coordinators = 16;
+  driver_config.duration_ms = 400;
+  driver_config.bucket_ms = 50;
+  driver_config.fibers_per_thread = 8;
+  Driver driver(cluster_.get(), manager_.get(), &gate_, &micro,
+                driver_config);
+  const DriverResult result = driver.Run();
+  ASSERT_GT(result.committed, 100u);
+  ASSERT_GT(result.latency_p50_ns, 0u);
+  const double tail_ratio = static_cast<double>(result.latency_p99_ns) /
+                            static_cast<double>(result.latency_p50_ns);
+  EXPECT_LE(tail_ratio, kMaxFiberTailRatio)
+      << "p50=" << result.latency_p50_ns / 1000
+      << "us p99=" << result.latency_p99_ns / 1000 << "us";
+
+  // The starvation metrics are plumbed end to end: the per-worker maxima
+  // and sums surface both as DriverResult fields and in the aggregated
+  // TxnStats totals the benches read.
+  EXPECT_EQ(result.totals.max_resume_lag_ns,
+            result.fiber_max_resume_lag_ns);
+  EXPECT_EQ(result.totals.paced_admissions,
+            result.fiber_paced_admissions);
 }
 
 // A verb held at the fabric must suspend only its own fiber: sibling
