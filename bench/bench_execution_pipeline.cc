@@ -91,6 +91,14 @@ int main() {
               "round-trip accounting behind the execution-phase figures)");
 
   BenchJson json("execution_pipeline");
+  // Config block: run shape for reproducing the comparison (git_sha is
+  // stamped by BenchJson::Write).
+  json.Set("config.num_keys", 20'000);
+  json.Set("config.ops_per_txn", 4);
+  json.Set("config.threads", 2);
+  json.Set("config.coordinators", 4);
+  json.Set("config.duration_ms", static_cast<double>(Scaled(2000)));
+  json.Set("config.fast_mode", FastMode() ? 1 : 0);
   // Write-heavy: every op is a lock+fetch, the pipelined case saves one
   // round trip per op.
   Compare(&json, "write100", /*write_percent=*/100);

@@ -129,6 +129,11 @@ int main() {
               "crash points covered, per litmus spec");
 
   BenchJson json("litmus_coverage");
+  // Config block: exploration shape behind every coverage number below
+  // (git_sha is stamped by BenchJson::Write).
+  json.Set("config.fast_mode", FastMode() ? 1 : 0);
+  json.Set("config.spec_cases", 3);
+  json.Set("config.compound_cases", 1);
 
   struct SpecCase {
     const char* label;

@@ -123,6 +123,40 @@ void BM_RingLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_RingLookup);
 
+// The allocation-free counterpart of BM_RingLookup: same ring walk, but
+// the replica set comes back inline (no vector, no heap). The delta
+// between these two is the per-lookup malloc/free cost the placement
+// refactor removed from ExecuteOp.
+void BM_RingLookupInline(benchmark::State& state) {
+  cluster::HashRing ring({0, 1, 2, 3, 4}, 3);
+  store::Key key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.ReplicaSetFor(1, key++));
+  }
+}
+BENCHMARK(BM_RingLookupInline);
+
+// Warm placement-cache hit: hash fold + direct-mapped probe + 18-byte
+// copy. This is ExecuteOp's per-op placement cost on skewed workloads.
+void BM_PlacementCacheHit(benchmark::State& state) {
+  cluster::HashRing ring({0, 1, 2, 3, 4}, 3);
+  cluster::PlacementCache cache;
+  constexpr uint64_t kKeys = 256;
+  for (store::Key key = 0; key < kKeys; ++key) {
+    const uint64_t hash = cluster::HashRing::PlacementHash(1, key);
+    cache.Insert(hash, /*epoch=*/1, ring.ReplicaSetForHash(hash));
+  }
+  store::Key key = 0;
+  for (auto _ : state) {
+    const uint64_t hash =
+        cluster::HashRing::PlacementHash(1, key++ % kKeys);
+    const cluster::ReplicaSet* hit = cache.Lookup(hash, 1);
+    benchmark::DoNotOptimize(hit != nullptr ? *hit
+                                            : ring.ReplicaSetForHash(hash));
+  }
+}
+BENCHMARK(BM_PlacementCacheHit);
+
 void BM_KeyHash(benchmark::State& state) {
   uint64_t key = 0;
   for (auto _ : state) {

@@ -131,6 +131,12 @@ std::string GitSha() {
 }
 
 std::string BenchJson::Write() const {
+  // Every artifact is traceable to a commit: emitters that did not set
+  // git_sha themselves get it stamped here.
+  bool have_sha = false;
+  for (const auto& metric : metrics_) {
+    if (metric.key == "git_sha") have_sha = true;
+  }
   std::string path;
   const char* dir = std::getenv("PANDORA_BENCH_JSON_DIR");
   if (dir != nullptr && dir[0] != '\0') {
@@ -143,6 +149,9 @@ std::string BenchJson::Write() const {
     return "";
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+  if (!have_sha) {
+    std::fprintf(f, ",\n  \"git_sha\": \"%s\"", GitSha().c_str());
+  }
   for (const auto& metric : metrics_) {
     if (metric.is_text) {
       std::fprintf(f, ",\n  \"%s\": \"%s\"", metric.key.c_str(),
@@ -200,6 +209,16 @@ void AddDriverMetrics(BenchJson* json, const std::string& prefix,
             static_cast<double>(result.fiber_max_resume_lag_ns) / 1000.0);
   json->Set(p + "paced_admissions",
             static_cast<double>(result.fiber_paced_admissions));
+  // Placement fast path: fraction of placement lookups answered by the
+  // per-coordinator cache instead of a ring walk.
+  const double placement_lookups =
+      static_cast<double>(result.totals.placement_hits) +
+      static_cast<double>(result.totals.placement_misses);
+  json->Set(p + "placement_hit_rate",
+            placement_lookups > 0
+                ? static_cast<double>(result.totals.placement_hits) /
+                      placement_lookups
+                : 0.0);
 }
 
 void PrintRttRows(const std::string& label,

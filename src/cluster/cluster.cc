@@ -107,7 +107,7 @@ Status Cluster::LoadRow(store::TableId table, store::Key key, Slice value) {
   }
   const store::TableLayout& layout = info.layout;
 
-  for (const rdma::NodeId node : ReplicasFor(table, key)) {
+  for (const rdma::NodeId node : ring_->ReplicaSetFor(table, key)) {
     rdma::MemoryRegion* region =
         memory_pds_[node]->GetRegion(info.region_rkeys[node]);
     PANDORA_CHECK(region != nullptr);
@@ -186,13 +186,12 @@ Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
         const store::Key key =
             DecodeFixed64(src_region->base() + layout.KeyOffset(slot));
         if (key == store::kFreeKey) continue;
-        const auto replicas = ring_->ReplicasFor(table, key);
+        // One ring walk per object: replica membership and the current
+        // primary both come from the same inline replica set.
+        const ReplicaSet replicas = ring_->ReplicaSetFor(table, key);
+        if (!replicas.Contains(node)) continue;
         // Copy once, from the current primary only.
-        if (PrimaryFor(table, key) != source) continue;
-        if (std::find(replicas.begin(), replicas.end(), node) ==
-            replicas.end()) {
-          continue;
-        }
+        if (PrimaryOf(replicas) != source) continue;
         // Probe-insert into the rebuilt region.
         uint64_t dst = layout.HomeSlot(HashKey(key));
         uint64_t scanned = 0;
@@ -220,10 +219,7 @@ Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
 
 rdma::NodeId Cluster::PrimaryFor(store::TableId table,
                                  store::Key key) const {
-  for (const rdma::NodeId node : ring_->ReplicasFor(table, key)) {
-    if (membership_.IsMemoryAlive(node)) return node;
-  }
-  return rdma::kInvalidNodeId;
+  return PrimaryOf(ring_->ReplicaSetFor(table, key));
 }
 
 }  // namespace cluster

@@ -97,15 +97,38 @@ class Cluster {
   /// start). Records the slot addresses in the shared address cache.
   Status LoadRow(store::TableId table, store::Key key, Slice value);
 
-  /// Replica set (static, primary first) of an object.
+  /// Replica set (static, primary first) of an object. Allocating
+  /// compatibility wrapper over ReplicaSetFor; cold paths and tests only.
   std::vector<rdma::NodeId> ReplicasFor(store::TableId table,
                                         store::Key key) const {
     return ring_->ReplicasFor(table, key);
   }
 
+  /// Allocation-free replica set (static, primary candidate first).
+  ReplicaSet ReplicaSetFor(store::TableId table, store::Key key) const {
+    return ring_->ReplicaSetFor(table, key);
+  }
+
+  /// Epoch covering everything a cached placement depends on: the ring
+  /// identity plus the membership view (primary = first *alive* replica,
+  /// so a failover must invalidate cached placements too). Both inputs are
+  /// monotonic, hence so is the sum.
+  uint64_t placement_epoch() const {
+    return ring_->epoch() + membership_.epoch();
+  }
+
   /// First *alive* node of the replica set = the current primary (§3.2.5).
   /// Returns kInvalidNodeId if every replica is dead (> f failures).
   rdma::NodeId PrimaryFor(store::TableId table, store::Key key) const;
+
+  /// Liveness filter over an already-resolved replica set: the current
+  /// primary without re-walking the ring.
+  rdma::NodeId PrimaryOf(const ReplicaSet& replicas) const {
+    for (const rdma::NodeId node : replicas) {
+      if (membership_.IsMemoryAlive(node)) return node;
+    }
+    return rdma::kInvalidNodeId;
+  }
 
   /// --- Failure emulation -------------------------------------------------
 

@@ -24,7 +24,10 @@ class Membership {
   Membership(const Membership&) = delete;
   Membership& operator=(const Membership&) = delete;
 
-  void MarkMemoryAlive(rdma::NodeId node) { dead_memory_.Clear(node); }
+  void MarkMemoryAlive(rdma::NodeId node) {
+    dead_memory_.Clear(node);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
   void MarkMemoryDead(rdma::NodeId node) {
     dead_memory_.Set(node);
     epoch_.fetch_add(1, std::memory_order_acq_rel);

@@ -1,6 +1,7 @@
 #ifndef PANDORA_CLUSTER_PLACEMENT_H_
 #define PANDORA_CLUSTER_PLACEMENT_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -9,6 +10,62 @@
 
 namespace pandora {
 namespace cluster {
+
+/// Upper bound on the replication factor. Placement results are returned in
+/// fixed-capacity inline arrays sized by this constant so the per-operation
+/// lookup path never touches the heap; raising it only costs a few bytes per
+/// cached placement entry.
+constexpr uint32_t kMaxReplication = 8;
+
+/// Fixed-capacity, inline replica set (primary-candidate order). Fits in two
+/// cache lines' worth of registers, is trivially copyable, and never
+/// allocates — this is the hot-path currency for placement lookups, replacing
+/// the heap-allocated std::vector the ring used to return per operation.
+class ReplicaSet {
+ public:
+  using const_iterator = const rdma::NodeId*;
+
+  ReplicaSet() = default;
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  rdma::NodeId operator[](uint32_t i) const { return nodes_[i]; }
+
+  const_iterator begin() const { return nodes_.data(); }
+  const_iterator end() const { return nodes_.data() + size_; }
+
+  /// First replica in ring order — the *static* primary candidate. Liveness
+  /// filtering (who is primary now) is layered on top by the caller.
+  rdma::NodeId front() const { return nodes_[0]; }
+
+  void PushBack(rdma::NodeId node) { nodes_[size_++] = node; }
+  void Clear() { size_ = 0; }
+
+  bool Contains(rdma::NodeId node) const {
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (nodes_[i] == node) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const ReplicaSet& other) const {
+    if (size_ != other.size_) return false;
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (nodes_[i] != other.nodes_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const ReplicaSet& other) const { return !(*this == other); }
+
+  /// Compatibility bridge for cold paths and tests that still speak vector.
+  std::vector<rdma::NodeId> ToVector() const {
+    return std::vector<rdma::NodeId>(begin(), end());
+  }
+
+ private:
+  std::array<rdma::NodeId, kMaxReplication> nodes_{};
+  uint32_t size_ = 0;
+};
 
 /// Consistent-hash placement of objects onto memory servers (§3.2.5: "We
 /// use consistent hashing to statically partition data across memory
@@ -29,11 +86,26 @@ class HashRing {
   uint32_t replication() const { return replication_; }
   const std::vector<rdma::NodeId>& nodes() const { return nodes_; }
 
+  /// Monotonic ring identity: every constructed ring gets a distinct epoch
+  /// from a process-wide counter, so epoch-tagged placement caches are
+  /// implicitly invalidated when a cluster swaps in a rebuilt ring.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Allocation-free replica set (ring order, primary candidate first) for
+  /// an object. Size == replication(). This is the hot-path lookup.
+  ReplicaSet ReplicaSetFor(store::TableId table, store::Key key) const {
+    return ReplicaSetForHash(PlacementHash(table, key));
+  }
+
+  /// Allocation-free replica set for a precomputed placement hash.
+  ReplicaSet ReplicaSetForHash(uint64_t hash) const;
+
   /// Replica set (primary first) for an object. Size == replication().
+  /// Heap-allocating compatibility wrapper over ReplicaSetFor.
   std::vector<rdma::NodeId> ReplicasFor(store::TableId table,
                                         store::Key key) const;
 
-  /// Replica set for a precomputed placement hash.
+  /// Replica set for a precomputed placement hash (allocating wrapper).
   std::vector<rdma::NodeId> ReplicasForHash(uint64_t hash) const;
 
   /// Placement hash of (table, key).
@@ -47,7 +119,54 @@ class HashRing {
 
   std::vector<rdma::NodeId> nodes_;
   uint32_t replication_;
+  uint64_t epoch_;
   std::vector<Point> ring_;  // Sorted by hash.
+};
+
+/// Per-coordinator direct-mapped cache of placement-hash -> ReplicaSet,
+/// validated by a placement epoch (ring identity + membership view), the
+/// same idiom as LocalAddressCache in address_cache.h. Coordinators are
+/// single-threaded, so lookups are one array index with no synchronization;
+/// a ring rebuild or membership change bumps the epoch and implicitly
+/// invalidates every entry without a broadcast.
+class PlacementCache {
+ public:
+  /// Returns the cached replica set for `hash` if present and tagged with
+  /// the current `epoch`, else nullptr.
+  const ReplicaSet* Lookup(uint64_t hash, uint64_t epoch) const {
+    const Entry& e = entries_[IndexOf(hash)];
+    if (e.valid && e.hash == hash && e.epoch == epoch) return &e.replicas;
+    return nullptr;
+  }
+
+  void Insert(uint64_t hash, uint64_t epoch, const ReplicaSet& replicas) {
+    Entry& e = entries_[IndexOf(hash)];
+    e.hash = hash;
+    e.epoch = epoch;
+    e.replicas = replicas;
+    e.valid = true;
+  }
+
+ private:
+  // Power of two; 1024 entries × ~40 B ≈ 40 KiB per coordinator — covers a
+  // hot key set far larger than any transaction footprint while staying
+  // resident in L1/L2.
+  static constexpr size_t kEntries = 1024;
+
+  struct Entry {
+    uint64_t hash = 0;
+    uint64_t epoch = 0;
+    ReplicaSet replicas;
+    bool valid = false;
+  };
+
+  static size_t IndexOf(uint64_t hash) {
+    // PlacementHash output is already well-mixed; fold the high bits in so
+    // the direct-mapped index is not just the ring-search low bits.
+    return static_cast<size_t>((hash ^ (hash >> 32)) & (kEntries - 1));
+  }
+
+  std::array<Entry, kEntries> entries_{};
 };
 
 }  // namespace cluster

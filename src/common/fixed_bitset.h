@@ -76,6 +76,53 @@ class AtomicFixedBitset {
 /// of the system (§3.1.2 "Recycling coordinator-ids").
 using FailedIdBitset = AtomicFixedBitset<65536>;
 
+/// Plain (single-threaded) fixed bitset for hot-path set arithmetic, e.g.
+/// deduplicating the memory servers touched by a transaction's write set
+/// without a per-commit allocate + sort + unique pass. ForEachSet visits set
+/// bits in ascending order via a word-at-a-time count-trailing-zeros walk,
+/// so callers that need a sorted id list get one for free.
+template <size_t kBits>
+class FixedBitset {
+ public:
+  static_assert(kBits % 64 == 0, "bit count must be a multiple of 64");
+
+  static constexpr size_t size() { return kBits; }
+
+  void Set(size_t bit) { words_[bit / 64] |= 1ULL << (bit % 64); }
+
+  void Clear(size_t bit) { words_[bit / 64] &= ~(1ULL << (bit % 64)); }
+
+  bool Test(size_t bit) const {
+    return (words_[bit / 64] >> (bit % 64)) & 1ULL;
+  }
+
+  size_t Count() const {
+    size_t count = 0;
+    for (const uint64_t w : words_) {
+      count += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    return count;
+  }
+
+  void Reset() { words_.fill(0); }
+
+  /// Calls fn(bit) for every set bit, in ascending bit order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      while (w != 0) {
+        const int tz = __builtin_ctzll(w);
+        fn(i * 64 + static_cast<size_t>(tz));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::array<uint64_t, kBits / 64> words_{};
+};
+
 }  // namespace pandora
 
 #endif  // PANDORA_COMMON_FIXED_BITSET_H_

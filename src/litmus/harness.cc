@@ -129,7 +129,7 @@ bool AuditReplicas(cluster::Cluster* cluster, store::TableId table,
     bool ref_visible = false;
     uint64_t ref_version = 0;
     uint64_t ref_value = 0;
-    for (const rdma::NodeId node : cluster->ReplicasFor(table, key)) {
+    for (const rdma::NodeId node : cluster->ReplicaSetFor(table, key)) {
       if (!cluster->membership().IsMemoryAlive(node)) continue;
       rdma::ProtectionDomain* pd = cluster->fabric().GetMemoryNode(node);
       rdma::MemoryRegion* region = pd->GetRegion(info.region_rkeys[node]);
@@ -384,8 +384,8 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
     }
     for (Var v = 0; v < spec.initial.size(); ++v) {
       const store::Key key = VarKey(iteration, v);
-      const std::vector<rdma::NodeId> replicas =
-          cluster.ReplicasFor(table, key);
+      const cluster::ReplicaSet replicas =
+          cluster.ReplicaSetFor(table, key);
       PANDORA_CHECK(!replicas.empty());
       rdma::ProtectionDomain* pd =
           cluster.fabric().GetMemoryNode(replicas[0]);

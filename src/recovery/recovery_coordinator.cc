@@ -101,7 +101,7 @@ Status RecoveryCoordinator::ReleaseObjectLocks(uint16_t coord_id,
                                                RecoveryStats* stats) {
   const cluster::TableInfo& info = cluster_->catalog().table(table);
   const store::LockWord theirs = store::MakeLock(coord_id);
-  for (const rdma::NodeId node : cluster_->ReplicasFor(table, key)) {
+  for (const rdma::NodeId node : cluster_->ReplicaSetFor(table, key)) {
     if (!cluster_->membership().IsMemoryAlive(node)) continue;
     uint64_t slot = 0;
     bool found = false;
@@ -148,7 +148,7 @@ Status RecoveryCoordinator::RecoverLoggedTxn(
     const store::LogEntry& entry = entries[i];
     const cluster::TableInfo& info = cluster_->catalog().table(entry.table);
     for (const rdma::NodeId node :
-         cluster_->ReplicasFor(entry.table, entry.key)) {
+         cluster_->ReplicaSetFor(entry.table, entry.key)) {
       if (!cluster_->membership().IsMemoryAlive(node)) continue;
       uint64_t slot = 0;
       bool found = false;

@@ -108,21 +108,23 @@ SlotReadView DecodeSlotRead(const char* buf) {
 Status FindSlotsByBatchedProbe(const TableLayout& layout,
                                const std::vector<ProbeRequest>& requests,
                                std::vector<ProbeOutcome>* outcomes,
-                               uint64_t* rounds) {
+                               uint64_t* rounds,
+                               BatchedProbeScratch* scratch) {
   outcomes->assign(requests.size(), ProbeOutcome{});
 
-  struct Cursor {
-    uint64_t probe = 0;
-    uint64_t scanned = 0;
-    bool done = false;
-  };
-  std::vector<Cursor> cursors(requests.size());
+  // Working state lives in the caller's scratch when provided (repeated
+  // callers reuse the grown vectors), else in a local one.
+  BatchedProbeScratch local;
+  if (scratch == nullptr) scratch = &local;
+  std::vector<BatchedProbeScratch::Cursor>& cursors = scratch->cursors;
+  cursors.assign(requests.size(), BatchedProbeScratch::Cursor{});
   for (size_t i = 0; i < requests.size(); ++i) {
     cursors[i].probe = layout.HomeSlot(HashKey(requests[i].key));
   }
 
   // 24-byte {lock, version, key} views, one per request, reused per round.
-  std::vector<std::array<char, 24>> bufs(requests.size());
+  std::vector<std::array<char, 24>>& bufs = scratch->bufs;
+  if (bufs.size() < requests.size()) bufs.resize(requests.size());
   rdma::VerbBatch batch;
 
   size_t unresolved = requests.size();
@@ -144,7 +146,7 @@ Status FindSlotsByBatchedProbe(const TableLayout& layout,
       return status;
     }
     for (size_t i = 0; i < requests.size(); ++i) {
-      Cursor& cursor = cursors[i];
+      BatchedProbeScratch::Cursor& cursor = cursors[i];
       if (cursor.done) continue;
       const Key key = DecodeFixed64(bufs[i].data() + 16);
       if (key == requests[i].key) {

@@ -1,6 +1,7 @@
 #ifndef PANDORA_STORE_REMOTE_OBJECT_H_
 #define PANDORA_STORE_REMOTE_OBJECT_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -81,16 +82,34 @@ struct ProbeOutcome {
   SlotState state;  // Valid when status.ok().
 };
 
+/// Reusable per-caller working state for FindSlotsByBatchedProbe: probe
+/// cursors and the per-request 24-byte read views. A caller that batches
+/// probes repeatedly (e.g. a coordinator's range reads) holds one of these
+/// so steady-state resolution reuses the grown vectors instead of
+/// allocating a cursor array and buffer pool per call.
+struct BatchedProbeScratch {
+  struct Cursor {
+    uint64_t probe = 0;
+    uint64_t scanned = 0;
+    bool done = false;
+  };
+  std::vector<Cursor> cursors;
+  std::vector<std::array<char, 24>> bufs;
+};
+
 /// Resolves many keys' slots by linear probing, batching each probe step
 /// across all still-unresolved requests into one doorbell — max-RTT rounds
 /// instead of per-key sequential probe chains. Per-key results land in
 /// `outcomes` (resized to match `requests`); the return value is the first
 /// verb-level error, which also fails every still-unresolved request.
 /// `rounds` (optional) accumulates the number of round trips spent.
+/// `scratch` (optional) supplies reusable working vectors; without it the
+/// call allocates its own.
 Status FindSlotsByBatchedProbe(const TableLayout& layout,
                                const std::vector<ProbeRequest>& requests,
                                std::vector<ProbeOutcome>* outcomes,
-                               uint64_t* rounds = nullptr);
+                               uint64_t* rounds = nullptr,
+                               BatchedProbeScratch* scratch = nullptr);
 
 }  // namespace store
 }  // namespace pandora

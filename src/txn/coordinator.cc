@@ -33,7 +33,11 @@ Coordinator::Coordinator(cluster::Cluster* cluster,
       coord_id_(coord_id),
       config_(config),
       gate_(gate),
-      log_writer_(cluster, server, coord_id) {}
+      log_writer_(cluster, server, coord_id) {
+  // A transaction can touch at most every memory server; reserving here
+  // keeps TouchedReplicaServers() allocation-free per commit.
+  touched_servers_.reserve(cluster->num_memory_nodes());
+}
 
 Status Coordinator::MaybeCrash(CrashPoint point) {
   if (crash_hook_ != nullptr && crash_hook_->MaybeCrash(point)) {
@@ -169,12 +173,34 @@ Status Coordinator::ResolveSlot(store::TableId table, store::Key key,
   return Status::OK();
 }
 
+cluster::ReplicaSet Coordinator::PlacementFor(store::TableId table,
+                                              store::Key key) {
+  const uint64_t hash = cluster::HashRing::PlacementHash(table, key);
+  if (!config_.placement_cache) {
+    return cluster_->ring().ReplicaSetForHash(hash);
+  }
+  const uint64_t epoch = cluster_->placement_epoch();
+  if (const cluster::ReplicaSet* cached =
+          placement_cache_.Lookup(hash, epoch)) {
+    stats_.placement_hits++;
+    return *cached;
+  }
+  stats_.placement_misses++;
+  const cluster::ReplicaSet replicas =
+      cluster_->ring().ReplicaSetForHash(hash);
+  placement_cache_.Insert(hash, epoch, replicas);
+  return replicas;
+}
+
+rdma::NodeId Coordinator::PrimaryFor(store::TableId table, store::Key key) {
+  return cluster_->PrimaryOf(PlacementFor(table, key));
+}
+
 Status Coordinator::ResolvePlacement(WriteOp* op) {
-  op->replicas = cluster_->ReplicasFor(op->table, op->key);
-  op->slots.assign(op->replicas.size(),
-                   std::numeric_limits<uint64_t>::max());
+  op->replicas = PlacementFor(op->table, op->key);
+  op->slots.fill(std::numeric_limits<uint64_t>::max());
   op->lock_node = rdma::kInvalidNodeId;
-  for (size_t i = 0; i < op->replicas.size(); ++i) {
+  for (uint32_t i = 0; i < op->replicas.size(); ++i) {
     const rdma::NodeId node = op->replicas[i];
     if (!cluster_->membership().IsMemoryAlive(node)) continue;
     bool existed = false;
@@ -493,7 +519,7 @@ Status Coordinator::ReadInternal(store::TableId table, store::Key key,
 
   const uint64_t deadline = NowMicros() + config_.stall_timeout_us;
   while (true) {
-    const rdma::NodeId node = cluster_->PrimaryFor(table, key);
+    const rdma::NodeId node = PrimaryFor(table, key);
     if (node == rdma::kInvalidNodeId) {
       return Status::Internal("all replicas of object lost (> f failures)");
     }
@@ -615,7 +641,7 @@ Status Coordinator::ReadRangeBatched(
       if (key == hi) break;
       continue;
     }
-    const rdma::NodeId node = cluster_->PrimaryFor(table, key);
+    const rdma::NodeId node = PrimaryFor(table, key);
     if (node == rdma::kInvalidNodeId) {
       return Status::Internal("all replicas of object lost (> f failures)");
     }
@@ -639,7 +665,7 @@ Status Coordinator::ReadRangeBatched(
     std::vector<store::ProbeOutcome> outcomes;
     uint64_t probe_rounds = 0;
     const Status probe_status = store::FindSlotsByBatchedProbe(
-        layout, probes, &outcomes, &probe_rounds);
+        layout, probes, &outcomes, &probe_rounds, &probe_scratch_);
     CountRtts(&stats_.execution_rtts, probe_rounds);
     if (!probe_status.ok()) {
       // A verb failed (dead server / our own halt): fall back to the
@@ -882,7 +908,7 @@ Status Coordinator::CheckValidation(
     } else {
       // The primary we read from died: re-validate against the current
       // primary (a backup holding the same committed version).
-      const rdma::NodeId node = cluster_->PrimaryFor(r.table, r.key);
+      const rdma::NodeId node = PrimaryFor(r.table, r.key);
       if (node == rdma::kInvalidNodeId) {
         return Status::Aborted("replicas lost during validation");
       }
@@ -1126,7 +1152,7 @@ Status Coordinator::CommitMergedInternal() {
 
   BuildApplyBufs();
 
-  const std::vector<rdma::NodeId> touched = TouchedReplicaServers();
+  const std::vector<rdma::NodeId>& touched = TouchedReplicaServers();
   std::vector<std::unique_ptr<rdma::OrderedBatch>> chains;
   chains.reserve(touched.size());
   for (const rdma::NodeId node : touched) {
@@ -1362,15 +1388,19 @@ Status Coordinator::ApplyWrites() {
   return FlushForPersistence(TouchedReplicaServers());
 }
 
-std::vector<rdma::NodeId> Coordinator::TouchedReplicaServers() const {
-  std::vector<rdma::NodeId> servers;
+const std::vector<rdma::NodeId>& Coordinator::TouchedReplicaServers() {
+  touched_bits_.Reset();
+  touched_servers_.clear();
   for (const WriteOp& op : write_set_) {
-    servers.insert(servers.end(), op.replicas.begin(), op.replicas.end());
+    for (const rdma::NodeId node : op.replicas) touched_bits_.Set(node);
   }
-  std::sort(servers.begin(), servers.end());
-  servers.erase(std::unique(servers.begin(), servers.end()),
-                servers.end());
-  return servers;
+  // ForEachSet walks bits in ascending order, so the vector comes out
+  // sorted without the allocate + sort + unique pass the old path paid
+  // per commit.
+  touched_bits_.ForEachSet([this](size_t bit) {
+    touched_servers_.push_back(static_cast<rdma::NodeId>(bit));
+  });
+  return touched_servers_;
 }
 
 Status Coordinator::UnlockWriteSet(bool crash_points) {

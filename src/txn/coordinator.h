@@ -1,6 +1,7 @@
 #ifndef PANDORA_TXN_COORDINATOR_H_
 #define PANDORA_TXN_COORDINATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -9,11 +10,13 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/fixed_bitset.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "rdma/ordered_batch.h"
 #include "store/log_layout.h"
 #include "store/object_header.h"
+#include "store/remote_object.h"
 #include "txn/crash_hook.h"
 #include "txn/log_writer.h"
 #include "txn/system_gate.h"
@@ -104,8 +107,11 @@ class Coordinator {
     bool is_insert = false;
     bool is_delete = false;
 
-    std::vector<rdma::NodeId> replicas;  // static ring order
-    std::vector<uint64_t> slots;         // aligned with replicas
+    // Static ring-order replica set and the object's slot on each replica,
+    // both inline (fixed capacity kMaxReplication): staging a write never
+    // heap-allocates for placement.
+    cluster::ReplicaSet replicas;
+    std::array<uint64_t, cluster::kMaxReplication> slots{};
     rdma::NodeId lock_node = rdma::kInvalidNodeId;  // where we (will) lock
     uint64_t lock_slot = 0;
 
@@ -153,6 +159,16 @@ class Coordinator {
 
   // Fills op->replicas / op->slots / op->lock_node.
   Status ResolvePlacement(WriteOp* op);
+
+  // Placement fast path: answers from the per-coordinator direct-mapped
+  // PlacementCache when the entry's epoch matches the cluster's placement
+  // epoch (ring identity + membership view), else walks the ring once and
+  // refills. Hit/miss counts land in TxnStats.
+  cluster::ReplicaSet PlacementFor(store::TableId table, store::Key key);
+
+  // Current primary = first alive node of PlacementFor's replica set.
+  // Returns kInvalidNodeId when every replica is dead (> f failures).
+  rdma::NodeId PrimaryFor(store::TableId table, store::Key key);
 
   // Locks op's primary with CAS (stealing stray locks under PILL; stalling
   // or aborting on live conflicts) and fetches the undo image. With
@@ -240,8 +256,12 @@ class Coordinator {
   // battery-backed deployments.
   Status FlushForPersistence(const std::vector<rdma::NodeId>& servers);
 
-  // Distinct memory servers holding replicas of the current write-set.
-  std::vector<rdma::NodeId> TouchedReplicaServers() const;
+  // Distinct memory servers holding replicas of the current write-set, in
+  // ascending node-id order (CommitMergedInternal's chain lookup binary
+  // searches it). Collected through a node-id bitset into a reserved member
+  // vector — no per-commit allocation or sort. The returned reference is
+  // valid until the next call.
+  const std::vector<rdma::NodeId>& TouchedReplicaServers();
 
   // True when the protocols may group verbs into one doorbell batch.
   bool batching_enabled() const {
@@ -299,6 +319,9 @@ class Coordinator {
   // Private L1 over the cluster's shared address cache (epoch-validated
   // against memory-server rebuilds); single-threaded like the coordinator.
   cluster::LocalAddressCache local_addresses_;
+  // Private placement-hash -> ReplicaSet cache (epoch-validated against
+  // ring identity + membership); single-threaded like the coordinator.
+  cluster::PlacementCache placement_cache_;
   uint16_t coord_id_;
   TxnConfig config_;
   SystemGate* gate_;
@@ -324,6 +347,12 @@ class Coordinator {
   std::vector<std::vector<char>> apply_bufs_;
   // Reusable coordinator-log record (BuildCoordinatorRecord).
   store::LogRecord record_scratch_;
+  // Reusable touched-server collection (TouchedReplicaServers): dedup via
+  // node-id bitset, emitted ascending into the reserved vector.
+  FixedBitset<rdma::kMaxNodes> touched_bits_;
+  std::vector<rdma::NodeId> touched_servers_;
+  // Reusable cursor/buffer scratch for batched range probes.
+  store::BatchedProbeScratch probe_scratch_;
 
   TxnStats stats_;
 };

@@ -118,7 +118,7 @@ Status LogWriter::PostCoordinatorRecord(const store::LogRecord& record,
 
 Status LogWriter::PostPerObjectRecord(
     const store::LogRecord& record,
-    const std::vector<rdma::NodeId>& object_replicas, rdma::VerbBatch* batch,
+    const cluster::ReplicaSet& object_replicas, rdma::VerbBatch* batch,
     std::vector<std::pair<rdma::NodeId, uint32_t>>* written) {
   const store::LogLayout& layout = cluster_->catalog().log_layout();
   if (buffers_used_ == buffers_.size()) buffers_.emplace_back();

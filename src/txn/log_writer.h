@@ -72,8 +72,7 @@ class LogWriter {
   /// path can invalidate them.
   Status PostPerObjectRecord(
       const store::LogRecord& record,
-      const std::vector<rdma::NodeId>& object_replicas,
-      rdma::VerbBatch* batch,
+      const cluster::ReplicaSet& object_replicas, rdma::VerbBatch* batch,
       std::vector<std::pair<rdma::NodeId, uint32_t>>* written);
 
   /// Posts an invalidation (8-byte magic overwrite) of `slot` on `server`.

@@ -90,6 +90,13 @@ struct TxnConfig {
   /// unrecoverable. Benchmarking only.
   bool disable_recovery_logging = false;
 
+  /// Per-coordinator placement cache: memoize PlacementHash -> ReplicaSet
+  /// so repeated touches of hot keys skip the ring binary search entirely.
+  /// Entries are epoch-validated against the cluster's placement epoch
+  /// (ring identity + membership view), so failovers invalidate them
+  /// implicitly. Off = every lookup walks the ring (the ablation knob).
+  bool placement_cache = true;
+
   /// PILL is a Pandora feature; the baselines cannot steal.
   bool pill_enabled() const { return mode == ProtocolMode::kPandora; }
 };
@@ -136,6 +143,13 @@ struct TxnStats {
   /// litmus harness uses this to flag bug flags that were never exercised
   /// — an injection no-op proves nothing.
   uint64_t bug_injections = 0;
+  /// Placement-cache hits: lookups answered from the per-coordinator
+  /// direct-mapped cache without touching the ring.
+  uint64_t placement_hits = 0;
+  /// Placement-cache misses: lookups that walked the ring (cold entry,
+  /// index collision, or epoch invalidation after a failover/rebuild).
+  /// Zero when TxnConfig::placement_cache is off.
+  uint64_t placement_misses = 0;
 };
 
 }  // namespace txn

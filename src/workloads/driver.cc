@@ -355,6 +355,9 @@ DriverResult Driver::Run() {
       result.totals.execution_rtts += stats.execution_rtts;
       result.totals.commit_rtts += stats.commit_rtts;
       result.totals.doorbells += stats.doorbells;
+      result.totals.bug_injections += stats.bug_injections;
+      result.totals.placement_hits += stats.placement_hits;
+      result.totals.placement_misses += stats.placement_misses;
     }
   }
   result.totals.fiber_yields = result.fiber_yields;

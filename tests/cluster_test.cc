@@ -1,13 +1,37 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <map>
+#include <new>
 #include <set>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/coding.h"
+#include "common/fixed_bitset.h"
 #include "store/object_header.h"
 #include "store/remote_object.h"
+
+// ---- Allocation-counting guard ------------------------------------------
+// Global operator new override (this test binary only): counts every heap
+// allocation so tests can assert that the placement fast path and the
+// touched-server collection never malloc per lookup.
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace pandora {
 namespace cluster {
@@ -234,6 +258,172 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ReplicationSweep,
                                            std::make_pair(2u, 2u),
                                            std::make_pair(4u, 3u),
                                            std::make_pair(5u, 2u)));
+
+// --------------------------------------------- Placement fast path ------
+
+// The inline ReplicaSet path must agree byte-for-byte with the legacy
+// vector path across tables and keys.
+TEST(HashRingTest, ReplicaSetMatchesVectorPath) {
+  HashRing ring({0, 1, 2, 3, 4, 5, 6, 7}, /*replication=*/3);
+  for (store::TableId table = 0; table < 4; ++table) {
+    for (store::Key key = 0; key < 1000; ++key) {
+      const ReplicaSet set = ring.ReplicaSetFor(table, key);
+      const std::vector<rdma::NodeId> vec = ring.ReplicasFor(table, key);
+      ASSERT_EQ(set.size(), vec.size());
+      for (uint32_t i = 0; i < set.size(); ++i) {
+        EXPECT_EQ(set[i], vec[i]) << "table " << table << " key " << key;
+      }
+      EXPECT_EQ(set.ToVector(), vec);
+      // Hash-keyed entry point agrees with the (table, key) entry point.
+      EXPECT_EQ(ring.ReplicaSetForHash(HashRing::PlacementHash(table, key)),
+                set);
+    }
+  }
+}
+
+// Vnode load-balance bound: with 64 vnodes/node the primary ownership of a
+// large uniform hash sample must stay within a small max/min ratio. This is
+// the property the scale-out bench leans on — a skewed ring would turn the
+// scaling matrix into a hot-node bench.
+TEST(HashRingTest, VnodeLoadBalanceBound) {
+  std::vector<rdma::NodeId> nodes;
+  for (rdma::NodeId n = 0; n < 16; ++n) nodes.push_back(n);
+  HashRing ring(nodes, /*replication=*/3);
+  std::map<rdma::NodeId, uint64_t> primary_count;
+  constexpr uint64_t kSamples = 1'000'000;
+  // Sample placement hashes directly (what the cache is keyed on) rather
+  // than sequential keys, so the bound covers the full hash space.
+  uint64_t hash = 0x9e3779b97f4a7c15ull;
+  for (uint64_t i = 0; i < kSamples; ++i) {
+    hash ^= hash >> 33;
+    hash *= 0xff51afd7ed558ccdull;
+    hash ^= hash >> 29;
+    const ReplicaSet replicas = ring.ReplicaSetForHash(hash);
+    ASSERT_EQ(replicas.size(), 3u);
+    primary_count[replicas[0]]++;
+  }
+  ASSERT_EQ(primary_count.size(), 16u) << "some node owns no keys";
+  uint64_t min_count = kSamples;
+  uint64_t max_count = 0;
+  for (const auto& [node, count] : primary_count) {
+    min_count = std::min(min_count, count);
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_LT(static_cast<double>(max_count) / static_cast<double>(min_count),
+            2.0)
+      << "max " << max_count << " min " << min_count;
+}
+
+TEST(HashRingTest, RingsGetDistinctEpochs) {
+  HashRing a({0, 1}, 1);
+  HashRing b({0, 1}, 1);
+  EXPECT_NE(a.epoch(), b.epoch());
+}
+
+TEST(PlacementCacheTest, HitAtInsertEpochMissAfterEpochChange) {
+  PlacementCache cache;
+  ReplicaSet replicas;
+  replicas.PushBack(3);
+  replicas.PushBack(7);
+  const uint64_t hash = HashRing::PlacementHash(1, 42);
+  EXPECT_EQ(cache.Lookup(hash, /*epoch=*/5), nullptr);
+  cache.Insert(hash, /*epoch=*/5, replicas);
+  const ReplicaSet* hit = cache.Lookup(hash, 5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, replicas);
+  // Any epoch change — ring swap or membership event — invalidates.
+  EXPECT_EQ(cache.Lookup(hash, 6), nullptr);
+  EXPECT_EQ(cache.Lookup(hash, 4), nullptr);
+  // Re-inserting at the new epoch revalidates.
+  cache.Insert(hash, 6, replicas);
+  ASSERT_NE(cache.Lookup(hash, 6), nullptr);
+}
+
+TEST(PlacementCacheTest, CollidingIndexEvicts) {
+  PlacementCache cache;
+  ReplicaSet a;
+  a.PushBack(1);
+  // Two hashes that map to the same direct-mapped slot: differ only above
+  // the index bits in a way that cancels in IndexOf's fold.
+  const uint64_t h1 = 0x1234;
+  const uint64_t h2 = h1 ^ (1ull << 40) ^ (1ull << (40 - 32));
+  cache.Insert(h1, 1, a);
+  ASSERT_NE(cache.Lookup(h1, 1), nullptr);
+  cache.Insert(h2, 1, a);
+  // h2 may or may not collide with h1 depending on the fold; the invariant
+  // is simply that lookups never return a wrong entry.
+  const ReplicaSet* r1 = cache.Lookup(h1, 1);
+  if (r1 != nullptr) EXPECT_EQ(*r1, a);
+  const ReplicaSet* r2 = cache.Lookup(h2, 1);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(*r2, a);
+}
+
+TEST(ClusterTest, PlacementEpochAdvancesOnFailoverAndRebuild) {
+  ClusterConfig config = TestConfig();
+  Cluster cluster(config);
+  const store::TableId t = cluster.CreateTable("t", 8, 64);
+  const char v[8] = "x";
+  for (store::Key k = 0; k < 32; ++k) {
+    ASSERT_TRUE(cluster.LoadRow(t, k, Slice(v, 8)).ok());
+  }
+  const uint64_t e0 = cluster.placement_epoch();
+  cluster.CrashMemoryNode(0);
+  const uint64_t e1 = cluster.placement_epoch();
+  EXPECT_GT(e1, e0) << "crash must invalidate placement caches";
+  ASSERT_TRUE(cluster.RebuildMemoryNode(0).ok());
+  const uint64_t e2 = cluster.placement_epoch();
+  EXPECT_GT(e2, e1) << "re-admission must invalidate placement caches";
+}
+
+// Zero-allocation guard: once the cache is warm, the hot placement path —
+// hash, cache lookup, primary selection, touched-server collection — must
+// not touch the heap. This is the tentpole's core claim; the global
+// operator-new counter at the top of this file enforces it.
+TEST(ClusterTest, PlacementFastPathIsAllocationFree) {
+  ClusterConfig config = TestConfig();
+  config.memory_nodes = 4;
+  config.replication = 3;
+  Cluster cluster(config);
+
+  PlacementCache cache;
+  const uint64_t epoch = cluster.placement_epoch();
+  constexpr store::Key kKeys = 512;
+  // Warm: every key's replica set enters the cache (collisions simply
+  // leave some keys on the ring-walk path, which is also allocation-free).
+  for (store::Key k = 0; k < kKeys; ++k) {
+    const uint64_t hash = HashRing::PlacementHash(0, k);
+    const ReplicaSet replicas = cluster.ring().ReplicaSetForHash(hash);
+    cache.Insert(hash, epoch, replicas);
+  }
+
+  FixedBitset<rdma::kMaxNodes> touched_bits;
+  std::vector<rdma::NodeId> touched;
+  touched.reserve(config.memory_nodes);
+
+  const uint64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  uint64_t checksum = 0;
+  for (int iter = 0; iter < 20; ++iter) {
+    touched_bits.Reset();
+    touched.clear();
+    for (store::Key k = 0; k < kKeys; ++k) {
+      const uint64_t hash = HashRing::PlacementHash(0, k);
+      const ReplicaSet* cached = cache.Lookup(hash, epoch);
+      const ReplicaSet replicas =
+          cached != nullptr ? *cached : cluster.ring().ReplicaSetForHash(hash);
+      checksum += cluster.PrimaryOf(replicas);
+      for (const rdma::NodeId node : replicas) touched_bits.Set(node);
+    }
+    touched_bits.ForEachSet([&touched](size_t bit) {
+      touched.push_back(static_cast<rdma::NodeId>(bit));
+    });
+    checksum += touched.size();
+  }
+  const uint64_t after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "hot placement path allocated " << (after - before) << " times";
+  EXPECT_GT(checksum, 0u);  // Keep the loop observable.
+}
 
 }  // namespace
 }  // namespace cluster

@@ -185,6 +185,42 @@ TEST(FixedBitsetTest, CopyFrom) {
   EXPECT_EQ(b.Count(), 2u);
 }
 
+TEST(PlainFixedBitsetTest, SetTestClearCount) {
+  FixedBitset<4096> bits;
+  EXPECT_FALSE(bits.Test(0));
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(4095);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(4095));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(PlainFixedBitsetTest, ForEachSetVisitsAscending) {
+  FixedBitset<4096> bits;
+  const std::vector<size_t> expected = {0, 2, 63, 64, 65, 1000, 4095};
+  // Insert out of order; iteration must still come out ascending.
+  bits.Set(4095);
+  bits.Set(64);
+  bits.Set(0);
+  bits.Set(1000);
+  bits.Set(65);
+  bits.Set(2);
+  bits.Set(63);
+  std::vector<size_t> visited;
+  bits.ForEachSet([&](size_t bit) { visited.push_back(bit); });
+  EXPECT_EQ(visited, expected);
+}
+
 TEST(FixedBitsetTest, ConcurrentSetsAreAllVisible) {
   FailedIdBitset bits;
   constexpr int kThreads = 4;

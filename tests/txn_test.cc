@@ -641,6 +641,71 @@ TEST(PipelineTimingTest, LockAndFetchWaitsOneRttNotTwo) {
   }
 }
 
+// Placement cache vs. membership failover: a warm cache must never serve a
+// placement decision from before a failover. Crashing a key's primary bumps
+// the cluster placement epoch, so the next lookup re-walks the ring (a
+// cache miss) and the operation lands on the surviving backup.
+TEST_F(TxnTest, PlacementCacheInvalidatedByMemoryFailover) {
+  auto coord = MakeCoordinator(0, 1);  // placement_cache defaults on.
+
+  // Warm the placement cache across many keys.
+  for (store::Key k = 0; k < 50; ++k) {
+    ReadCommitted(coord.get(), k);
+  }
+  EXPECT_GT(coord->stats().placement_misses, 0u);
+
+  // Re-reading the same keys is now mostly cache hits; the direct-mapped
+  // cache may evict a handful of colliding keys, so bound rather than
+  // forbid repeat misses.
+  const uint64_t misses_warm = coord->stats().placement_misses;
+  const uint64_t hits_before = coord->stats().placement_hits;
+  for (store::Key k = 0; k < 50; ++k) {
+    ReadCommitted(coord.get(), k);
+  }
+  EXPECT_GT(coord->stats().placement_hits, hits_before + 30);
+  EXPECT_LT(coord->stats().placement_misses, misses_warm + 15);
+
+  // Find a key whose primary is node 0, then crash node 0.
+  store::Key victim = store::kFreeKey;
+  for (store::Key k = 0; k < 100; ++k) {
+    if (cluster_->PrimaryFor(table_, k) == 0) {
+      victim = k;
+      break;
+    }
+  }
+  ASSERT_NE(victim, store::kFreeKey);
+  const auto replicas = cluster_->ReplicasFor(table_, victim);
+  cluster_->CrashMemoryNode(0);
+
+  // The epoch bump invalidates every cached entry: the next transaction on
+  // the victim key misses the cache, re-resolves, and commits against the
+  // surviving backup rather than the dead primary.
+  const uint64_t misses_after_crash = coord->stats().placement_misses;
+  ASSERT_TRUE(coord->Begin().ok());
+  ASSERT_TRUE(coord->Write(table_, victim, Padded("failover")).ok());
+  ASSERT_TRUE(coord->Commit().ok());
+  EXPECT_GT(coord->stats().placement_misses, misses_after_crash);
+  EXPECT_EQ(cluster_->PrimaryFor(table_, victim), replicas[1]);
+  const store::SlotState state = Inspect(victim, replicas[1]);
+  EXPECT_EQ(store::VersionOf(state.version), 2u);
+
+  auto reader = MakeCoordinator(1, 2);
+  EXPECT_EQ(ReadCommitted(reader.get(), victim), Padded("failover"));
+}
+
+// Ablation: with the cache disabled every lookup is a ring walk and the
+// stats counters stay untouched — the knob isolates the fast path.
+TEST_F(TxnTest, PlacementCacheKnobDisablesCounting) {
+  TxnConfig config;
+  config.placement_cache = false;
+  auto coord = MakeCoordinator(0, 1, config);
+  for (store::Key k = 0; k < 20; ++k) {
+    ReadCommitted(coord.get(), k);
+  }
+  EXPECT_EQ(coord->stats().placement_hits, 0u);
+  EXPECT_EQ(coord->stats().placement_misses, 0u);
+}
+
 }  // namespace
 }  // namespace txn
 }  // namespace pandora
