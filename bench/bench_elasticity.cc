@@ -1,0 +1,281 @@
+// Elasticity under traffic: a SmallBank cluster keeps committing while a
+// standby memory server live-joins the ring mid-run and is later drained
+// back out. The timeline shows throughput before / during / after both
+// migrations; the gate holds the during-migration floor (no cliff) and the
+// money-conservation audit (no migration may lose a committed write).
+//
+// This is the throughput companion of the crash-during-migration litmus
+// spec: the litmus hunt proves the epoch fence is *necessary* (cutting
+// over without it is caught), this bench proves it is *cheap* — the
+// cutover stall and the fence-abort/retry traffic must not halve
+// steady-state throughput.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/reconfig.h"
+#include "txn/coordinator.h"
+#include "workloads/smallbank.h"
+
+namespace pandora {
+namespace bench {
+namespace {
+
+constexpr uint32_t kActiveMemoryNodes = 4;
+constexpr uint32_t kCoordinators = 128;
+constexpr uint64_t kPaceUs = 4000;
+
+cluster::ClusterConfig ElasticityCluster() {
+  cluster::ClusterConfig config;
+  config.memory_nodes = kActiveMemoryNodes;
+  config.standby_memory_nodes = 1;  // The server that joins mid-run.
+  config.compute_nodes = 2;
+  config.replication = 2;
+  config.net.one_way_ns = 1500;   // Low-µs RDMA round trips (PaperTestbed).
+  config.net.per_byte_ns = 0.08;  // 100 Gbps.
+  // SmallBank write-sets are <= 4 objects: a slim log keeps five memory
+  // servers from reserving PaperTestbed's log footprint each.
+  config.log.slots_per_coordinator = 32;
+  config.log.slot_bytes = 1024;
+  config.log.max_coordinators = 192;
+  return config;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Gate {
+  std::vector<std::string> failures;
+
+  void Check(bool ok, const std::string& what) {
+    if (!ok) failures.push_back(what);
+  }
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  using namespace pandora::bench;
+
+  PrintHeader(
+      "Elasticity: live memory-server join + drain under SmallBank traffic",
+      "online reconfiguration (ROADMAP item: epoch-fenced range "
+      "migration); throughput before/during/after the migrations, with "
+      "the money-conservation audit as the zero-loss checker");
+
+  const uint64_t duration_ms = Scaled(2400);
+  const uint64_t bucket_ms = duration_ms / 12;
+
+  workloads::SmallBankConfig bank_config;
+  // Scaled with the run length: the bulk copy's wall time grows with the
+  // table, and the fault thread is sequential — a join overrunning the
+  // drain's fire time in a quarter-length fast run would skip the drain.
+  bank_config.num_accounts = Scaled(10'000);
+  bank_config.hot_accounts = Scaled(1000);
+  // Conserving profiles only: the total balance is invariant under any
+  // interleaving, so a migration that drops or duplicates one committed
+  // write is caught by a single audit read.
+  bank_config.conserving_only = true;
+  workloads::SmallBankWorkload bank(bank_config);
+
+  recovery::RecoveryManagerConfig rm;
+  rm.mode = txn::ProtocolMode::kPandora;
+  rm.fd = BenchFd();
+  Testbed testbed(ElasticityCluster(), rm, &bank);
+
+  cluster::Cluster& cluster = testbed.cluster();
+  const rdma::NodeId standby = cluster.memory_node_id(kActiveMemoryNodes);
+  // The recovery layer supplies the quiesce hooks, so the cutover window
+  // coordinates with in-flight transactions exactly as in production.
+  cluster::ReconfigManager migrator(&cluster,
+                                    testbed.manager().MakeReconfigOptions());
+
+  workloads::DriverConfig driver_config;
+  driver_config.threads = 2;
+  driver_config.coordinators = kCoordinators;
+  driver_config.duration_ms = duration_ms;
+  driver_config.bucket_ms = bucket_ms;
+  driver_config.pace_us = kPaceUs;
+  driver_config.txn.mode = txn::ProtocolMode::kPandora;
+  auto driver = testbed.MakeDriver(driver_config);
+
+  // Join at 1/3, drain at 2/3: buckets 4 and 8 of 12 are the migration
+  // buckets, leaving clean steady-state windows before, between, and
+  // after.
+  std::atomic<bool> join_ok{false};
+  std::atomic<bool> drain_ok{false};
+  std::atomic<uint64_t> join_ns{0};
+  std::atomic<uint64_t> drain_ns{0};
+  workloads::FaultEvent join_event;
+  join_event.kind = workloads::FaultEvent::Kind::kReconfig;
+  join_event.at_ms = duration_ms / 3;
+  join_event.action = [&] {
+    const uint64_t start = NowNs();
+    const Status status = migrator.JoinMemoryNode(standby);
+    join_ns.store(NowNs() - start);
+    join_ok.store(status.ok());
+    if (!status.ok()) {
+      std::fprintf(stderr, "live join failed: %s\n",
+                   status.ToString().c_str());
+    }
+  };
+  driver->AddFault(join_event);
+  workloads::FaultEvent drain_event;
+  drain_event.kind = workloads::FaultEvent::Kind::kReconfig;
+  drain_event.at_ms = 2 * duration_ms / 3;
+  drain_event.action = [&] {
+    const uint64_t start = NowNs();
+    const Status status = migrator.DrainMemoryNode(standby);
+    drain_ns.store(NowNs() - start);
+    drain_ok.store(status.ok());
+    if (!status.ok()) {
+      std::fprintf(stderr, "planned drain failed: %s\n",
+                   status.ToString().c_str());
+    }
+  };
+  driver->AddFault(drain_event);
+
+  const workloads::DriverResult result = driver->Run();
+
+  // The audit: a fresh coordinator sums every balance transactionally.
+  // Any committed write lost (or resurrected) by either migration shifts
+  // the total.
+  int64_t total = 0;
+  bool audit_read_ok = false;
+  {
+    std::vector<uint16_t> ids;
+    if (testbed.manager()
+            .RegisterComputeNode(cluster.compute(0), 1, &ids)
+            .ok()) {
+      txn::Coordinator auditor(&cluster, cluster.compute(0), ids[0],
+                               txn::TxnConfig(), &testbed.gate());
+      audit_read_ok = bank.TotalBalance(&auditor, &total).ok();
+    }
+  }
+  const bool conserved = audit_read_ok && total == bank.ExpectedTotal();
+
+  // Steady vs during-migration throughput. Bucket 0 is warmup; the
+  // steady window is the pre-join buckets 1..3, the migration buckets are
+  // the ones the join and drain fire in.
+  double steady_mtps = 0;
+  for (int b = 1; b <= 3; ++b) steady_mtps += result.timeline_mtps[b];
+  steady_mtps /= 3.0;
+  const double join_bucket_mtps = result.timeline_mtps[4];
+  const double drain_bucket_mtps = result.timeline_mtps[8];
+  const double during_mtps = std::min(join_bucket_mtps, drain_bucket_mtps);
+  const double during_over_steady =
+      steady_mtps > 0 ? during_mtps / steady_mtps : 0.0;
+
+  const double attempts =
+      static_cast<double>(result.committed + result.aborted);
+  const double reconfig_abort_rate =
+      attempts > 0
+          ? static_cast<double>(result.totals.reconfig_aborts) / attempts
+          : 0.0;
+  const cluster::ReconfigStats mig = migrator.stats();
+
+  PrintTimeline("join@1/3 drain@2/3", result.timeline_mtps, bucket_ms);
+  PrintRow("steady-state average (pre-join)", steady_mtps, "MTps");
+  PrintRow("join-bucket throughput", join_bucket_mtps, "MTps");
+  PrintRow("drain-bucket throughput", drain_bucket_mtps, "MTps");
+  PrintRow("during/steady ratio", during_over_steady, "x");
+  PrintRow("join migration time",
+           static_cast<double>(join_ns.load()) / 1e6, "ms");
+  PrintRow("drain migration time",
+           static_cast<double>(drain_ns.load()) / 1e6, "ms");
+  PrintRow("cutover stall (last)",
+           static_cast<double>(mig.last_cutover_ns) / 1e6, "ms");
+  PrintRow("objects copied", static_cast<double>(mig.objects_copied), "");
+  PrintRow("objects re-copied at cutover",
+           static_cast<double>(mig.objects_recopied), "");
+  PrintRow("reconfig-abort rate", reconfig_abort_rate, "");
+  PrintRow("reconfig retries",
+           static_cast<double>(result.totals.reconfig_retries), "");
+  PrintLatencyRows("elasticity", result);
+  std::printf("bank audit: total %lld expected %lld (%s)\n",
+              static_cast<long long>(total),
+              static_cast<long long>(bank.ExpectedTotal()),
+              conserved ? "CONSERVED" : "MONEY LEAKED — BUG");
+
+  BenchJson json("elasticity");
+  json.SetText("git_sha", GitSha());
+  json.Set("config.memory_nodes", kActiveMemoryNodes);
+  json.Set("config.standby_memory_nodes", 1);
+  json.Set("config.replication", 2);
+  json.Set("config.coordinators", kCoordinators);
+  json.Set("config.pace_us", kPaceUs);
+  json.Set("config.duration_ms", static_cast<double>(duration_ms));
+  json.Set("config.num_accounts",
+           static_cast<double>(bank_config.num_accounts));
+  json.Set("config.fast_mode", FastMode() ? 1 : 0);
+  AddDriverMetrics(&json, "elasticity", result);
+  for (size_t b = 0; b < result.timeline_mtps.size(); ++b) {
+    json.Set("timeline.bucket" + std::to_string(b), result.timeline_mtps[b]);
+  }
+  json.Set("steady_mtps", steady_mtps);
+  json.Set("join_bucket_mtps", join_bucket_mtps);
+  json.Set("drain_bucket_mtps", drain_bucket_mtps);
+  json.Set("during_over_steady", during_over_steady);
+  json.Set("join_ok", join_ok.load() ? 1 : 0);
+  json.Set("drain_ok", drain_ok.load() ? 1 : 0);
+  json.Set("join_ms", static_cast<double>(join_ns.load()) / 1e6);
+  json.Set("drain_ms", static_cast<double>(drain_ns.load()) / 1e6);
+  json.Set("migration.objects_copied",
+           static_cast<double>(mig.objects_copied));
+  json.Set("migration.objects_recopied",
+           static_cast<double>(mig.objects_recopied));
+  json.Set("migration.ranges_migrated",
+           static_cast<double>(mig.ranges_migrated));
+  json.Set("migration.copy_rtts", static_cast<double>(mig.copy_rtts));
+  json.Set("migration.last_migration_ms",
+           static_cast<double>(mig.last_migration_ns) / 1e6);
+  json.Set("migration.last_cutover_ms",
+           static_cast<double>(mig.last_cutover_ns) / 1e6);
+  json.Set("reconfig_aborts",
+           static_cast<double>(result.totals.reconfig_aborts));
+  json.Set("reconfig_retries",
+           static_cast<double>(result.totals.reconfig_retries));
+  json.Set("reconfig_abort_rate", reconfig_abort_rate);
+  json.Set("conserved", conserved ? 1 : 0);
+  json.Write();
+
+  const char* gate_env = std::getenv("PANDORA_BENCH_GATE");
+  if (gate_env == nullptr || gate_env[0] != '1') return 0;
+
+  const bool fast = FastMode();
+  Gate gate;
+  gate.Check(join_ok.load(), "live join did not complete");
+  gate.Check(drain_ok.load(), "planned drain did not complete");
+  gate.Check(conserved, "money-conservation audit failed: total " +
+                            std::to_string(total) + " expected " +
+                            std::to_string(bank.ExpectedTotal()));
+  gate.Check(result.committed > 0, "no transactions committed");
+  // The elasticity bar: migrating a fifth of the key space must not cliff
+  // throughput. Quarter-length fast buckets are noisier; loosen there.
+  const double min_ratio = fast ? 0.35 : 0.50;
+  gate.Check(during_over_steady >= min_ratio,
+             "during/steady ratio " + std::to_string(during_over_steady) +
+                 " < " + std::to_string(min_ratio));
+
+  if (!gate.failures.empty()) {
+    for (const std::string& failure : gate.failures) {
+      std::fprintf(stderr, "BENCH GATE VIOLATION: %s\n", failure.c_str());
+    }
+    return 1;
+  }
+  std::printf("bench gate: elasticity bars met%s\n",
+              fast ? " (fast-mode thresholds)" : "");
+  return 0;
+}

@@ -35,5 +35,6 @@ set_target_properties(bench_micro_ops PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
 pandora_add_bench(bench_ablation)                          # design ablations
 pandora_add_bench(bench_scaleout)                          # scaling matrix
+pandora_add_bench(bench_elasticity)                        # live join/drain
 pandora_add_bench(bench_execution_pipeline)                # §3.1.1 pipelining
 pandora_add_bench(bench_fiber_scaling)                     # fibers/thread sweep

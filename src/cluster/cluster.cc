@@ -28,22 +28,32 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   PANDORA_CHECK(config_.replication <= config_.memory_nodes);
   fabric_ = std::make_unique<rdma::Fabric>(config_.net);
 
+  // Active nodes first, then standbys: both are attached (regions, queue
+  // pairs, rkeys exist) but only active nodes enter the initial ring;
+  // standbys are marked dead until a live join admits them.
   std::vector<rdma::NodeId> memory_ids;
-  for (uint32_t i = 0; i < config_.memory_nodes; ++i) {
+  for (uint32_t i = 0; i < total_memory_nodes(); ++i) {
     const rdma::NodeId id = memory_node_id(i);
-    memory_ids.push_back(id);
     memory_pds_.push_back(fabric_->AttachMemoryNode(id));
-    membership_.MarkMemoryAlive(id);
+    if (i < config_.memory_nodes) {
+      memory_ids.push_back(id);
+      membership_.MarkMemoryAlive(id);
+    } else {
+      membership_.MarkMemoryDead(id);
+    }
   }
 
-  ring_ = std::make_unique<HashRing>(memory_ids, config_.replication);
-  catalog_ = std::make_unique<Catalog>(config_.memory_nodes);
+  ring_storage_.push_back(
+      std::make_unique<HashRing>(memory_ids, config_.replication));
+  active_ring_.store(ring_storage_.back().get(),
+                     std::memory_order_release);
+  catalog_ = std::make_unique<Catalog>(total_memory_nodes());
   addresses_ =
-      std::make_unique<AddressCache>(kMaxTables, config_.memory_nodes);
+      std::make_unique<AddressCache>(kMaxTables, total_memory_nodes());
 
   // Per-coordinator undo-log area on every memory server.
   const store::LogLayout log_layout(config_.log);
-  for (uint32_t i = 0; i < config_.memory_nodes; ++i) {
+  for (uint32_t i = 0; i < total_memory_nodes(); ++i) {
     const rdma::RKey rkey = memory_pds_[i]->RegisterRegion(
         log_layout.region_size(), "log");
     catalog_->SetLogRegion(memory_node_id(i), rkey, log_layout);
@@ -78,11 +88,11 @@ store::TableId Cluster::CreateTable(const std::string& name,
   info.spec.name = name;
   info.spec.value_size = value_size;
   info.spec.capacity = capacity;
-  info.region_rkeys.resize(config_.memory_nodes, rdma::kInvalidRKey);
+  info.region_rkeys.resize(total_memory_nodes(), rdma::kInvalidRKey);
   const store::TableId id = catalog_->AddTable(std::move(info));
 
   TableInfo& stored = catalog_->mutable_table(id);
-  for (uint32_t i = 0; i < config_.memory_nodes; ++i) {
+  for (uint32_t i = 0; i < total_memory_nodes(); ++i) {
     stored.region_rkeys[i] = memory_pds_[i]->RegisterRegion(
         stored.layout.region_size(), name);
     // Mark every slot free: a zeroed key word would collide with legal
@@ -107,7 +117,7 @@ Status Cluster::LoadRow(store::TableId table, store::Key key, Slice value) {
   }
   const store::TableLayout& layout = info.layout;
 
-  for (const rdma::NodeId node : ring_->ReplicaSetFor(table, key)) {
+  for (const rdma::NodeId node : ring().ReplicaSetFor(table, key)) {
     rdma::MemoryRegion* region =
         memory_pds_[node]->GetRegion(info.region_rkeys[node]);
     PANDORA_CHECK(region != nullptr);
@@ -142,14 +152,8 @@ Status Cluster::LoadRow(store::TableId table, store::Key key, Slice value) {
   return Status::OK();
 }
 
-Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
-  if (membership_.IsMemoryAlive(node)) {
-    return Status::InvalidArgument("memory node is not dead");
-  }
+void Cluster::WipeMemoryNode(rdma::NodeId node) {
   rdma::ProtectionDomain* pd = memory_pds_[node];
-
-  // Wipe: a replacement server starts empty (the crashed server's DRAM is
-  // gone). Region objects are reused; contents are reset.
   for (size_t t = 0; t < catalog_->num_tables(); ++t) {
     const TableInfo& info = catalog_->table(static_cast<store::TableId>(t));
     rdma::MemoryRegion* region = pd->GetRegion(info.region_rkeys[node]);
@@ -160,11 +164,37 @@ Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
     }
     addresses_->ResetNode(static_cast<store::TableId>(t), node);
   }
-  {
-    rdma::MemoryRegion* log_region =
-        pd->GetRegion(catalog_->log_rkey(node));
-    std::memset(log_region->base(), 0, log_region->size());
+  rdma::MemoryRegion* log_region = pd->GetRegion(catalog_->log_rkey(node));
+  std::memset(log_region->base(), 0, log_region->size());
+}
+
+const HashRing& Cluster::InstallRing(std::unique_ptr<HashRing> ring) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_storage_.push_back(std::move(ring));
+  const HashRing* installed = ring_storage_.back().get();
+  active_ring_.store(installed, std::memory_order_release);
+  return *installed;
+}
+
+Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
+  if (membership_.IsMemoryAlive(node)) {
+    return Status::InvalidArgument("memory node is not dead");
   }
+  // Stop-the-world precondition: copying slots while transactions mutate
+  // them silently corrupts the rebuilt replica. When the recovery layer
+  // installed its quiesce probe, refuse instead of corrupting; callers
+  // that need a rebuild under traffic must go through the online
+  // reconfiguration path (cluster::ReconfigManager).
+  if (quiesce_check_ && !quiesce_check_()) {
+    return Status::Busy(
+        "RebuildMemoryNode requires quiesced transactions; use the online "
+        "reconfiguration path under traffic");
+  }
+  rdma::ProtectionDomain* pd = memory_pds_[node];
+
+  // Wipe: a replacement server starts empty (the crashed server's DRAM is
+  // gone). Region objects are reused; contents are reset.
+  WipeMemoryNode(node);
 
   // Re-replicate: copy every object whose replica set includes this node
   // from its current primary. (A production system streams this with
@@ -176,8 +206,7 @@ Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
     const store::TableLayout& layout = info.layout;
     rdma::MemoryRegion* dst_region = pd->GetRegion(info.region_rkeys[node]);
 
-    for (uint32_t m = 0; m < config_.memory_nodes; ++m) {
-      const rdma::NodeId source = memory_node_id(m);
+    for (const rdma::NodeId source : ring().nodes()) {
       if (source == node || !membership_.IsMemoryAlive(source)) continue;
       rdma::MemoryRegion* src_region =
           memory_pds_[source]->GetRegion(info.region_rkeys[source]);
@@ -188,7 +217,7 @@ Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
         if (key == store::kFreeKey) continue;
         // One ring walk per object: replica membership and the current
         // primary both come from the same inline replica set.
-        const ReplicaSet replicas = ring_->ReplicaSetFor(table, key);
+        const ReplicaSet replicas = ring().ReplicaSetFor(table, key);
         if (!replicas.Contains(node)) continue;
         // Copy once, from the current primary only.
         if (PrimaryOf(replicas) != source) continue;
@@ -219,7 +248,7 @@ Status Cluster::RebuildMemoryNode(rdma::NodeId node) {
 
 rdma::NodeId Cluster::PrimaryFor(store::TableId table,
                                  store::Key key) const {
-  return PrimaryOf(ring_->ReplicaSetFor(table, key));
+  return PrimaryOf(ring().ReplicaSetFor(table, key));
 }
 
 }  // namespace cluster

@@ -1,7 +1,10 @@
 #ifndef PANDORA_CLUSTER_CLUSTER_H_
 #define PANDORA_CLUSTER_CLUSTER_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +38,11 @@ enum class PersistenceMode {
 /// Deployment parameters for one simulated DKVS.
 struct ClusterConfig {
   uint32_t memory_nodes = 2;
+  /// Spare memory servers attached to the fabric but outside the initial
+  /// hash ring: their regions exist (so queue pairs and rkeys are valid)
+  /// but they hold no data and are marked dead in the membership until a
+  /// live join (cluster::ReconfigManager) migrates ranges onto them.
+  uint32_t standby_memory_nodes = 0;
   uint32_t compute_nodes = 2;
   /// Replication degree f+1 (each object lives on one primary + f backups).
   uint32_t replication = 2;
@@ -58,7 +66,12 @@ class Cluster {
 
   const ClusterConfig& config() const { return config_; }
   rdma::Fabric& fabric() { return *fabric_; }
-  const HashRing& ring() const { return *ring_; }
+  /// The active hash ring. Swapped atomically by InstallRing during an
+  /// online reconfiguration; superseded rings stay alive until the cluster
+  /// is destroyed, so a reference obtained here never dangles.
+  const HashRing& ring() const {
+    return *active_ring_.load(std::memory_order_acquire);
+  }
   Catalog& catalog() { return *catalog_; }
   const Catalog& catalog() const { return *catalog_; }
   Membership& membership() { return membership_; }
@@ -67,17 +80,21 @@ class Cluster {
   const AddressCache& addresses() const { return *addresses_; }
 
   uint32_t num_memory_nodes() const { return config_.memory_nodes; }
+  /// Attached memory servers including standbys outside the initial ring.
+  uint32_t total_memory_nodes() const {
+    return config_.memory_nodes + config_.standby_memory_nodes;
+  }
   uint32_t num_compute_nodes() const { return config_.compute_nodes; }
 
   rdma::NodeId memory_node_id(uint32_t i) const {
     return static_cast<rdma::NodeId>(i);
   }
   rdma::NodeId compute_node_id(uint32_t i) const {
-    return static_cast<rdma::NodeId>(config_.memory_nodes + i);
+    return static_cast<rdma::NodeId>(total_memory_nodes() + i);
   }
   /// Node id reserved for control services (FD / recovery coordinator).
   rdma::NodeId service_node_id() const {
-    return static_cast<rdma::NodeId>(config_.memory_nodes +
+    return static_cast<rdma::NodeId>(total_memory_nodes() +
                                      config_.compute_nodes);
   }
 
@@ -101,12 +118,12 @@ class Cluster {
   /// compatibility wrapper over ReplicaSetFor; cold paths and tests only.
   std::vector<rdma::NodeId> ReplicasFor(store::TableId table,
                                         store::Key key) const {
-    return ring_->ReplicasFor(table, key);
+    return ring().ReplicasFor(table, key);
   }
 
   /// Allocation-free replica set (static, primary candidate first).
   ReplicaSet ReplicaSetFor(store::TableId table, store::Key key) const {
-    return ring_->ReplicaSetFor(table, key);
+    return ring().ReplicaSetFor(table, key);
   }
 
   /// Epoch covering everything a cached placement depends on: the ring
@@ -114,7 +131,7 @@ class Cluster {
   /// so a failover must invalidate cached placements too). Both inputs are
   /// monotonic, hence so is the sum.
   uint64_t placement_epoch() const {
-    return ring_->epoch() + membership_.epoch();
+    return ring().epoch() + membership_.epoch();
   }
 
   /// First *alive* node of the replica set = the current primary (§3.2.5).
@@ -152,18 +169,52 @@ class Cluster {
   /// back as a *fresh* replica — wipes its regions, copies every object
   /// it should replicate from the current primaries, and re-admits it to
   /// the membership. The caller must have quiesced transactions (the
-  /// paper stops the DKVS for this).
+  /// paper stops the DKVS for this); when a quiesce check is installed
+  /// (set_quiesce_check), the call refuses (Busy) if the check reports
+  /// in-flight traffic instead of silently corrupting.
   Status RebuildMemoryNode(rdma::NodeId node);
+
+  /// Installs the precondition probe RebuildMemoryNode consults: must
+  /// return true only when the system is quiesced (no in-flight
+  /// transactions). Installed by the recovery layer, which owns the gate;
+  /// bare clusters without one keep the unchecked legacy behavior.
+  void set_quiesce_check(std::function<bool()> check) {
+    quiesce_check_ = std::move(check);
+  }
+
+  /// --- Online reconfiguration hooks (cluster::ReconfigManager) ---------
+
+  /// Atomically publishes a new active ring. The superseded ring is kept
+  /// alive (readers may still hold references); its distinct epoch makes
+  /// every cached placement self-invalidate. Returns the new ring.
+  const HashRing& InstallRing(std::unique_ptr<HashRing> ring);
+
+  /// Wipes a memory server's table regions, address entries, and log
+  /// region back to the freshly-attached state. Used by RebuildMemoryNode
+  /// and by reconfiguration rollback/drain cleanup.
+  void WipeMemoryNode(rdma::NodeId node);
+
+  /// Direct access to a memory server's protection domain (control path:
+  /// bulk loaders, litmus harness, reconfiguration copy loops).
+  rdma::ProtectionDomain* memory_pd(rdma::NodeId node) const {
+    return memory_pds_[node];
+  }
 
  private:
   ClusterConfig config_;
   std::unique_ptr<rdma::Fabric> fabric_;
   std::vector<rdma::ProtectionDomain*> memory_pds_;
-  std::unique_ptr<HashRing> ring_;
+  /// Active ring + every ring ever installed. Swap-only, never freed
+  /// mid-run: one retained ring per reconfiguration is a bounded cost and
+  /// keeps the read path a single atomic load (no reference counting).
+  std::atomic<const HashRing*> active_ring_{nullptr};
+  std::vector<std::unique_ptr<HashRing>> ring_storage_;
+  std::mutex ring_mu_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<AddressCache> addresses_;
   Membership membership_;
   std::vector<std::unique_ptr<ComputeServer>> computes_;
+  std::function<bool()> quiesce_check_;
 };
 
 }  // namespace cluster

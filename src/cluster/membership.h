@@ -40,20 +40,23 @@ class Membership {
   /// servers can detect staleness cheaply.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  /// The barrier nests: a recovery running concurrently with an online
+  /// reconfiguration must not clear the other's stall when it finishes,
+  /// so Begin/End form a counter rather than a flag.
   void BeginReconfiguration() {
-    reconfiguring_.store(true, std::memory_order_release);
+    reconfiguring_.fetch_add(1, std::memory_order_acq_rel);
   }
   void EndReconfiguration() {
-    reconfiguring_.store(false, std::memory_order_release);
+    reconfiguring_.fetch_sub(1, std::memory_order_acq_rel);
   }
   bool reconfiguring() const {
-    return reconfiguring_.load(std::memory_order_acquire);
+    return reconfiguring_.load(std::memory_order_acquire) > 0;
   }
 
  private:
   AtomicFixedBitset<rdma::kMaxNodes> dead_memory_;
   std::atomic<uint64_t> epoch_{0};
-  std::atomic<bool> reconfiguring_{false};
+  std::atomic<int> reconfiguring_{0};
 };
 
 }  // namespace cluster

@@ -192,6 +192,50 @@ bool AuditReplicas(cluster::Cluster* cluster, store::TableId table,
   return true;
 }
 
+// Schedule-armed migration fault injector: counts every consulted
+// ReconfigCrashPoint (coverage), optionally abandons the migration at one
+// scheduled point, and optionally halts the join target at the first
+// kMidRangeCopy visit (the bulk-copy window), forcing the rollback path.
+// Driven solely from the migration thread; read after that thread joins.
+class ScheduledReconfigInjector : public cluster::ReconfigFaultInjector {
+ public:
+  ScheduledReconfigInjector(int crash_point, bool kill_target,
+                            cluster::Cluster* cluster,
+                            rdma::NodeId target)
+      : crash_point_(crash_point),
+        kill_target_(kill_target),
+        cluster_(cluster),
+        target_(target) {}
+
+  bool MaybeCrash(cluster::ReconfigCrashPoint point) override {
+    const int p = static_cast<int>(point);
+    visits_[p]++;
+    if (kill_target_ && !killed_ &&
+        point == cluster::ReconfigCrashPoint::kMidRangeCopy) {
+      killed_ = true;
+      cluster_->fabric().HaltNode(target_);
+    }
+    if (p == crash_point_ && !fired_) {
+      fired_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool fired() const { return fired_; }
+  bool killed() const { return killed_; }
+  int visits(int point) const { return visits_[point]; }
+
+ private:
+  const int crash_point_;  // -1 = never crash the driver
+  const bool kill_target_;
+  cluster::Cluster* cluster_;
+  const rdma::NodeId target_;
+  int visits_[cluster::kNumReconfigCrashPoints] = {0};
+  bool fired_ = false;
+  bool killed_ = false;
+};
+
 // Outcome of executing one schedule (one litmus iteration).
 struct IterationResult {
   int iteration = 0;
@@ -233,12 +277,25 @@ struct SpecRun {
   LitmusSpec expanded;
   std::unique_ptr<SerializabilityChecker> checker;
   int next_iteration = 0;
+  /// Online-reconfiguration machinery (standby deployments only): the
+  /// fenced migrator, a deliberately naive one (epoch fence off, no
+  /// quiesce hooks) for the teeth schedules, and the standby's node id.
+  std::unique_ptr<cluster::ReconfigManager> migrator;
+  std::unique_ptr<cluster::ReconfigManager> migrator_unfenced;
+  rdma::NodeId standby_node = rdma::kInvalidNodeId;
 
   static cluster::ClusterConfig MakeClusterConfig(
       const HarnessConfig& config, uint32_t compute_nodes,
       int max_iterations) {
     cluster::ClusterConfig cluster_config;
     cluster_config.memory_nodes = config.memory_nodes;
+    // Reconfiguration runs need a standby memory server to join/drain
+    // (also when only the replayed schedule carries the migration).
+    cluster_config.standby_memory_nodes =
+        (config.reconfig != ReconfigKind::kNone ||
+         config.replay.reconfig != ReconfigKind::kNone)
+            ? 1
+            : 0;
     cluster_config.compute_nodes = compute_nodes;
     cluster_config.replication = config.replication;
     cluster_config.net = config.net;
@@ -280,6 +337,24 @@ struct SpecRun {
                                                     &gate);
     manager->Start();
 
+    if (cluster.config().standby_memory_nodes > 0) {
+      standby_node = cluster.memory_node_id(config.memory_nodes);
+      // Few ranges keep the per-migration kMidRangeCopy visit count (and
+      // thus the lockstep-profiled occurrence space) small; a short
+      // verdict timeout keeps source-death rollbacks fast.
+      cluster::ReconfigOptions fenced = manager->MakeReconfigOptions();
+      fenced.ranges = 8;
+      fenced.verdict_timeout_us = 20'000;
+      migrator =
+          std::make_unique<cluster::ReconfigManager>(&cluster, fenced);
+      cluster::ReconfigOptions naive;
+      naive.ranges = 8;
+      naive.epoch_fence = false;
+      naive.verdict_timeout_us = 20'000;
+      migrator_unfenced =
+          std::make_unique<cluster::ReconfigManager>(&cluster, naive);
+    }
+
     // The checker sees one logical transaction per *run*: expand the
     // spec. Observation order is run-major (run r of txn t sits at index
     // r * num_txns + t).
@@ -309,10 +384,23 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
                            LitmusReport* report, bool record,
                            IterationResult* out) {
   PANDORA_CHECK(next_iteration < max_iterations);
-  const int iteration = next_iteration++;
+  // Key-space salt: the seed shifts every iteration's variable keys to a
+  // different ring position, so repeated single-schedule runs (e.g. the
+  // naive-cutover teeth hunt) can re-roll WHICH variables a join actually
+  // moves by varying the seed. Within one deployment the salt is constant,
+  // so iterations stay disjoint and replays stay deterministic.
+  const int iteration =
+      next_iteration++ +
+      static_cast<int>(config.seed % 4096) * (max_iterations + 2);
   out->iteration = iteration;
   out->executed.sync = schedule.sync;
   out->executed.runs = runs;
+
+  // Coordinator config for this iteration; fence-off (teeth) schedules
+  // disable the coordinators' placement-epoch fence along with the
+  // migrator's, running the deliberately naive cutover end to end.
+  txn::TxnConfig txn_config = config.txn;
+  if (schedule.reconfig_fence_off) txn_config.reconfig_fence = false;
 
   // Lazily preload this iteration's copy of the initialized variables.
   for (Var v = 0; v < spec.initial.size(); ++v) {
@@ -328,7 +416,12 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
   // unless armed) recorder hook on every coordinator also forces the
   // litmus-grade sequential (per-replica) apply/unlock paths, maximizing
   // the interleavings a litmus test can observe.
-  LockstepController lockstep(static_cast<int>(num_txns));
+  // Reconfig schedules shorten the lockstep fallback: during the cutover
+  // quiesce a participant blocked at the gate cannot arrive, and every
+  // phase of its peers would otherwise stall for the full 250ms timeout.
+  LockstepController lockstep(
+      static_cast<int>(num_txns),
+      schedule.reconfig != ReconfigKind::kNone ? 20'000 : 250'000);
   std::vector<std::unique_ptr<txn::Coordinator>> coords;
   std::vector<std::unique_ptr<txn::ScheduleRecorderHook>> hooks;
   std::vector<uint64_t> recoveries_before(num_txns, 0);
@@ -337,7 +430,7 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
     PANDORA_CHECK(
         manager->RegisterComputeNode(cluster.compute(t), 1, &ids).ok());
     coords.push_back(std::make_unique<txn::Coordinator>(
-        &cluster, cluster.compute(t), ids[0], config.txn, &gate));
+        &cluster, cluster.compute(t), ids[0], txn_config, &gate));
     hooks.push_back(std::make_unique<txn::ScheduleRecorderHook>());
     if (schedule.sync == SyncMode::kLockstep) {
       hooks.back()->set_point_observer(
@@ -410,6 +503,39 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
     cluster.fabric().set_verb_hook(verb_ctl.get());
   }
 
+  // Online reconfiguration racing this iteration's transactions: a join
+  // (or, after a quiet pre-join, a drain) of the standby memory server,
+  // driven from its own thread off the same start barrier, with a
+  // schedule-armed fault injector counting migration-point coverage.
+  const ReconfigKind reconfig_kind =
+      migrator != nullptr ? schedule.reconfig : ReconfigKind::kNone;
+  cluster::ReconfigManager* migration_mgr = nullptr;
+  std::unique_ptr<ScheduledReconfigInjector> reconfig_injector;
+  uint64_t rollbacks_before = 0;
+  if (reconfig_kind != ReconfigKind::kNone) {
+    migration_mgr = schedule.reconfig_fence_off ? migrator_unfenced.get()
+                                                : migrator.get();
+    if (reconfig_kind == ReconfigKind::kDrain) {
+      // The drain race needs the standby in the ring first: join it
+      // quietly (fenced, no faults) before the transactions start.
+      const Status pre = migrator->JoinMemoryNode(standby_node);
+      if (!pre.ok()) {
+        PANDORA_LOG(kWarning)
+            << "litmus: pre-join for drain schedule failed: "
+            << pre.ToString();
+      }
+    }
+    reconfig_injector = std::make_unique<ScheduledReconfigInjector>(
+        schedule.reconfig_crash,
+        schedule.reconfig_kill_target &&
+            reconfig_kind == ReconfigKind::kJoin,
+        &cluster, standby_node);
+    rollbacks_before = migration_mgr->stats().rollbacks;
+    migration_mgr->set_fault_injector(reconfig_injector.get());
+  } else if (schedule.reconfig != ReconfigKind::kNone) {
+    out->noop = true;  // No standby deployed: the schedule cannot run.
+  }
+
   // Compound: a one-shot recovery-coordinator death; the manager restarts
   // the RC and re-runs recovery (idempotent, §3.2.3).
   std::atomic<int> rc_deaths{0};
@@ -450,9 +576,64 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
       if (!retired) lockstep.Retire();
     });
   }
+  std::thread migration_thread;
+  Status migration_status;
+  if (migration_mgr != nullptr) {
+    migration_thread = std::thread([&] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      migration_status =
+          reconfig_kind == ReconfigKind::kJoin
+              ? migration_mgr->JoinMemoryNode(standby_node)
+              : migration_mgr->DrainMemoryNode(standby_node);
+    });
+  }
   go.store(true, std::memory_order_release);
   for (auto& thread : threads) thread.join();
+  if (migration_thread.joinable()) migration_thread.join();
   out->sync_timeouts = lockstep.timeouts();
+
+  // Migration harvest: record the executed reconfiguration (resolved
+  // crash / kill), coverage counters, and injection no-ops.
+  if (migration_mgr != nullptr) {
+    migration_mgr->set_fault_injector(nullptr);
+    out->executed.reconfig = reconfig_kind;
+    out->executed.reconfig_fence_off = schedule.reconfig_fence_off;
+    if (record) {
+      report->reconfigs_run++;
+      for (int p = 0;
+           p < static_cast<int>(cluster::kNumReconfigCrashPoints); ++p) {
+        report->reconfig_point_visits[p] += reconfig_injector->visits(p);
+      }
+      report->reconfig_rollbacks += static_cast<int>(
+          migration_mgr->stats().rollbacks - rollbacks_before);
+    }
+    if (schedule.reconfig_crash >= 0) {
+      if (reconfig_injector->fired()) {
+        out->executed.reconfig_crash = schedule.reconfig_crash;
+        if (record) {
+          report->reconfig_crashes_injected++;
+          report->reconfig_point_crashes[schedule.reconfig_crash]++;
+        }
+      } else {
+        out->noop = true;  // Migration never reached the scheduled point.
+      }
+    }
+    if (schedule.reconfig_kill_target) {
+      if (reconfig_injector->killed()) {
+        out->executed.reconfig_kill_target = true;
+        if (record) report->reconfig_kills_injected++;
+      } else {
+        out->noop = true;  // The kill window was never reached.
+      }
+    }
+    if (!migration_status.ok() && schedule.reconfig_crash < 0 &&
+        !schedule.reconfig_kill_target) {
+      PANDORA_LOG(kInfo) << "litmus: scheduled migration rolled back: "
+                         << migration_status.ToString();
+    }
+  }
 
   // Verb-controller harvest. Release any verb still parked (recovery
   // traffic is never held, but an unrealizable order may leave the slots'
@@ -565,7 +746,7 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
                           &observer_ids)
                       .ok());
     txn::Coordinator reader(&cluster, cluster.compute(compute_nodes - 1),
-                            observer_ids[0], config.txn, &gate);
+                            observer_ids[0], txn_config, &gate);
     std::string observe_error;
     for (int attempt = 0; attempt < 10 && !observed; ++attempt) {
       const Status begin_status = reader.Begin();
@@ -665,6 +846,26 @@ void SpecRun::RunIteration(const CrashSchedule& schedule,
                           << status.ToString();
     }
   }
+  // Reconfiguration baseline restore: resume a killed join target, then
+  // take the standby back out of the ring (quiet fenced drain) so the
+  // next iteration starts from the baseline placement. This runs after
+  // the checker observed the migrated state, so it never masks a cutover
+  // bug — it only re-establishes iteration independence.
+  if (migration_mgr != nullptr) {
+    if (reconfig_injector->killed()) {
+      cluster.fabric().ResumeNode(standby_node);
+      cluster.WipeMemoryNode(standby_node);
+    }
+    const std::vector<rdma::NodeId>& ring_nodes = cluster.ring().nodes();
+    if (std::find(ring_nodes.begin(), ring_nodes.end(), standby_node) !=
+        ring_nodes.end()) {
+      const Status restore = migrator->DrainMemoryNode(standby_node);
+      if (!restore.ok()) {
+        PANDORA_LOG(kError) << "litmus: standby restore drain failed: "
+                            << restore.ToString();
+      }
+    }
+  }
 
   // Memory-level invariants: replicas must agree, locks must be free or
   // stray. Skipped when recovery already timed out (the iteration is
@@ -692,6 +893,18 @@ std::string LitmusReport::CoverageSummary() const {
                static_cast<txn::CrashPoint>(p))) +
            ": " + std::to_string(point_visits[p]) + " visits, " +
            std::to_string(point_crashes[p]) + " crashes";
+  }
+  for (int p = 0; p < static_cast<int>(cluster::kNumReconfigCrashPoints);
+       ++p) {
+    if (reconfig_point_visits[p] == 0 && reconfig_point_crashes[p] == 0) {
+      continue;
+    }
+    if (!out.empty()) out += "\n";
+    out += "reconfig " +
+           std::string(cluster::ReconfigCrashPointName(
+               static_cast<cluster::ReconfigCrashPoint>(p))) +
+           ": " + std::to_string(reconfig_point_visits[p]) + " visits, " +
+           std::to_string(reconfig_point_crashes[p]) + " crashes";
   }
   return out;
 }
@@ -731,6 +944,24 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
       CrashSchedule candidate = best;
       candidate.crashes.erase(candidate.crashes.begin() +
                               static_cast<long>(i));
+      if (reproduces(candidate)) best = candidate;
+    }
+    if (best.reconfig_kill_target) {
+      CrashSchedule candidate = best;
+      candidate.reconfig_kill_target = false;
+      if (reproduces(candidate)) best = candidate;
+    }
+    if (best.reconfig_crash >= 0) {
+      CrashSchedule candidate = best;
+      candidate.reconfig_crash = -1;
+      if (reproduces(candidate)) best = candidate;
+    }
+    if (best.reconfig != ReconfigKind::kNone) {
+      CrashSchedule candidate = best;
+      candidate.reconfig = ReconfigKind::kNone;
+      candidate.reconfig_crash = -1;
+      candidate.reconfig_fence_off = false;
+      candidate.reconfig_kill_target = false;
       if (reproduces(candidate)) best = candidate;
     }
     if (best.has_verb_kill) {
@@ -788,10 +1019,15 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
     // surfaces ordering bugs like covert/relaxed locks).
     CrashSchedule profile_schedule;
     profile_schedule.sync = SyncMode::kLockstep;
+    // With reconfiguration enabled every enumerated schedule (profile
+    // included) races the migration, so the profiled tuples reflect the
+    // fenced-abort/retry paths the migration provokes.
+    const ReconfigKind reconfig_kind = config_.reconfig;
+    profile_schedule.reconfig = reconfig_kind;
     report.schedules_planned++;
     const IterationResult profile = execute(run, profile_schedule);
 
-    std::vector<CrashSchedule> worklist;
+    std::vector<CrashDirective> tuples;
     for (uint32_t t = 0; t < run.num_txns; ++t) {
       if (t >= profile.visits.size()) break;
       for (size_t r = 0; r < profile.visits[t].size(); ++r) {
@@ -801,27 +1037,95 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
         }
         for (int p = 0; p < txn::kNumCrashPoints; ++p) {
           for (int occ = 1; occ <= counts[p]; ++occ) {
-            CrashSchedule schedule;
-            schedule.sync = SyncMode::kLockstep;
             CrashDirective crash;
             crash.slot = static_cast<int>(t);
             crash.run = static_cast<int>(r);
             crash.point = static_cast<txn::CrashPoint>(p);
             crash.occurrence = occ;
-            schedule.crashes.push_back(crash);
-            worklist.push_back(schedule);
-            if (config_.compound_rc_fault) {
-              CrashSchedule compound = schedule;
-              compound.rc_fault = true;
-              worklist.push_back(compound);
-            }
-            if (config_.compound_memory_kill) {
-              CrashSchedule compound = schedule;
-              compound.kill_memory_node = static_cast<int>(
-                  worklist.size() % config_.memory_nodes);
-              worklist.push_back(compound);
-            }
+            tuples.push_back(crash);
           }
+        }
+      }
+    }
+
+    std::vector<CrashSchedule> worklist;
+    // Migration-driver crashes first: one schedule per ReconfigCrashPoint
+    // (plus a join-target kill mid-copy), proving the rollback /
+    // roll-forward rule at every point of the migration. The crash-free
+    // migration itself is covered by the profiling iteration.
+    if (reconfig_kind != ReconfigKind::kNone) {
+      for (int p = 0;
+           p < static_cast<int>(cluster::kNumReconfigCrashPoints); ++p) {
+        CrashSchedule schedule;
+        schedule.sync = SyncMode::kLockstep;
+        schedule.reconfig = reconfig_kind;
+        schedule.reconfig_crash = p;
+        worklist.push_back(schedule);
+      }
+      if (reconfig_kind == ReconfigKind::kJoin) {
+        CrashSchedule schedule;
+        schedule.sync = SyncMode::kLockstep;
+        schedule.reconfig = reconfig_kind;
+        schedule.reconfig_kill_target = true;
+        worklist.push_back(schedule);
+      }
+    }
+    for (const CrashDirective& crash : tuples) {
+      CrashSchedule schedule;
+      schedule.sync = SyncMode::kLockstep;
+      schedule.reconfig = reconfig_kind;  // kNone when reconfig is off
+      schedule.crashes.push_back(crash);
+      worklist.push_back(schedule);
+      if (config_.compound_rc_fault) {
+        CrashSchedule compound = schedule;
+        compound.rc_fault = true;
+        worklist.push_back(compound);
+      }
+      if (config_.compound_memory_kill) {
+        CrashSchedule compound = schedule;
+        compound.kill_memory_node =
+            static_cast<int>(worklist.size() % config_.memory_nodes);
+        worklist.push_back(compound);
+      }
+    }
+    // Coordinator crash *pairs*: two slots dying at different points of
+    // the same iteration. Bounded to the contested window — both crashes
+    // at points where locks can be held, first occurrences, first run —
+    // which is where stray-lock interactions between two simultaneous
+    // recoveries actually live.
+    if (config_.crash_pairs) {
+      const auto contested = [](txn::CrashPoint p) {
+        switch (p) {
+          case txn::CrashPoint::kAfterLock:
+          case txn::CrashPoint::kAfterLockFetch:
+          case txn::CrashPoint::kBeforeLogWrite:
+          case txn::CrashPoint::kAfterLogWrite:
+          case txn::CrashPoint::kAfterValidation:
+          case txn::CrashPoint::kBeforeCommitApply:
+          case txn::CrashPoint::kMidCommitApply:
+          case txn::CrashPoint::kAfterCommitApply:
+          case txn::CrashPoint::kAfterClientAck:
+          case txn::CrashPoint::kBeforeUnlock:
+          case txn::CrashPoint::kMidUnlock:
+            return true;
+          default:
+            return false;
+        }
+      };
+      const auto in_window = [&](const CrashDirective& d) {
+        return d.run == 0 && d.occurrence == 1 && contested(d.point);
+      };
+      for (size_t a = 0; a < tuples.size(); ++a) {
+        if (!in_window(tuples[a])) continue;
+        for (size_t b = a + 1; b < tuples.size(); ++b) {
+          if (tuples[b].slot == tuples[a].slot) continue;
+          if (!in_window(tuples[b])) continue;
+          CrashSchedule schedule;
+          schedule.sync = SyncMode::kLockstep;
+          schedule.reconfig = reconfig_kind;
+          schedule.crashes.push_back(tuples[a]);
+          schedule.crashes.push_back(tuples[b]);
+          worklist.push_back(schedule);
         }
       }
     }
@@ -985,6 +1289,15 @@ LitmusReport LitmusHarness::Run(const LitmusSpec& spec) {
       Random rng(config_.seed);
       for (int i = 0; i < config_.iterations && !should_stop(); ++i) {
         CrashSchedule schedule;  // free-running, maybe one random crash
+        if (config_.reconfig != ReconfigKind::kNone) {
+          // Every iteration races the migration; some also crash the
+          // migration driver at a random point.
+          schedule.reconfig = config_.reconfig;
+          if (rng.PercentTrue(40)) {
+            schedule.reconfig_crash = static_cast<int>(
+                rng.Uniform(cluster::kNumReconfigCrashPoints));
+          }
+        }
         if (config_.crash_percent > 0 &&
             rng.PercentTrue(config_.crash_percent)) {
           CrashDirective crash;

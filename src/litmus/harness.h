@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/reconfig.h"
 #include "litmus/checker.h"
 #include "litmus/litmus_spec.h"
 #include "litmus/schedule.h"
@@ -60,6 +61,17 @@ struct HarnessConfig {
   /// Replay budget of the delta-debugging minimizer that shrinks a
   /// violating schedule to a minimal reproducer (0 disables shrinking).
   int minimize_budget = 12;
+  /// Online reconfiguration raced against the iterations (kNone = off).
+  /// The cluster gets one standby memory server; kJoin live-joins it while
+  /// the spec's transactions run, kDrain first joins it quietly and then
+  /// races the planned drain. kExhaustive additionally enumerates one
+  /// schedule per ReconfigCrashPoint (plus a join-target kill), proving
+  /// the rollback / roll-forward rule at every point of the migration.
+  ReconfigKind reconfig = ReconfigKind::kNone;
+  /// kExhaustive: also enumerate coordinator crash *pairs* — two slots
+  /// dying at different points of the same iteration — bounded to the
+  /// contested window (both crashes at points where locks can be held).
+  bool crash_pairs = false;
 };
 
 /// Result of running one litmus spec.
@@ -127,6 +139,24 @@ struct LitmusReport {
   /// Enforced orders that turned out unrealizable (a hold timed out and
   /// the iteration degraded to free-running).
   int verb_schedules_diverged = 0;
+
+  /// --- Online reconfiguration (schedules with reconfig != kNone) --------
+  /// Migrations raced against an iteration's transactions.
+  int reconfigs_run = 0;
+  /// Scheduled migration-driver crashes that actually fired.
+  int reconfig_crashes_injected = 0;
+  /// Migrations that rolled back to the old ring (injected crash before
+  /// the cutover publish, or a mid-copy failure).
+  int reconfig_rollbacks = 0;
+  /// Join-target deaths injected during the bulk-copy window.
+  int reconfig_kills_injected = 0;
+  /// Per migration crash point: times the driver consulted the injector
+  /// there / times a scheduled crash fired there (indexed by
+  /// cluster::ReconfigCrashPoint).
+  std::vector<int> reconfig_point_visits =
+      std::vector<int>(cluster::kNumReconfigCrashPoints, 0);
+  std::vector<int> reconfig_point_crashes =
+      std::vector<int>(cluster::kNumReconfigCrashPoints, 0);
 
   /// One line per visited crash point: "name visits/crashes".
   std::string CoverageSummary() const;

@@ -239,6 +239,29 @@ LitmusSpec LitmusSingle() {
   return spec;
 }
 
+LitmusSpec LitmusReconfig() {
+  // Counters with distinct initial values: T1 increments X then Y, T2
+  // increments Z then W, T3 increments Y then Z — contended on Y and Z,
+  // solo on X and W. Any committed increment a cutover loses (or any
+  // preloaded object the bulk copy skips while locked) breaks every
+  // serial order and is flagged by the checker.
+  LitmusSpec spec;
+  spec.name = "litmus-reconfig";
+  spec.checks = "lost updates across an online-reconfiguration cutover";
+  spec.initial = {10, 20, 30, 40};
+  LitmusTxn t1{"T1",
+               {LitmusOp::Load(0, kX), LitmusOp::StoreRegPlus(kX, 0, 1),
+                LitmusOp::Load(1, kY), LitmusOp::StoreRegPlus(kY, 1, 1)}};
+  LitmusTxn t2{"T2",
+               {LitmusOp::Load(0, kZ), LitmusOp::StoreRegPlus(kZ, 0, 1),
+                LitmusOp::Load(1, kW), LitmusOp::StoreRegPlus(kW, 1, 1)}};
+  LitmusTxn t3{"T3",
+               {LitmusOp::Load(0, kY), LitmusOp::StoreRegPlus(kY, 0, 1),
+                LitmusOp::Load(1, kZ), LitmusOp::StoreRegPlus(kZ, 1, 1)}};
+  spec.txns = {t1, t2, t3};
+  return spec;
+}
+
 std::vector<LitmusSpec> AllLitmusSpecs() {
   return {Litmus1(),           Litmus1Inserts(), Litmus1Deletes(),
           Litmus2(),           Litmus3(),        Litmus3AbortLogging(),

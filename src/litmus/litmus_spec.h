@@ -94,7 +94,17 @@ LitmusSpec Litmus1LockRelease();     // complicit-abort corner case
 LitmusSpec CompoundLitmus();   // stretched/combined variant (§5 "Compound")
 LitmusSpec LitmusSingle();     // one solo txn: crash-point coverage probe
 
-/// All of the above.
+/// Online-reconfiguration litmus: read-modify-write counters over four
+/// variables, every one a lost-update detector. Raced against a live
+/// memory-node join/drain (HarnessConfig::reconfig), a correct cutover
+/// must preserve every committed increment; the deliberately naive
+/// cutover (epoch fence off) drops updates committed — and skips objects
+/// locked — during the bulk copy, which this spec turns into checker
+/// violations. Not part of AllLitmusSpecs(): it needs a standby-equipped
+/// deployment.
+LitmusSpec LitmusReconfig();
+
+/// All of the above (except LitmusReconfig).
 std::vector<LitmusSpec> AllLitmusSpecs();
 
 /// Randomized compound litmus generator (§5 "Compound Tests", generalized

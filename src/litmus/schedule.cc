@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "cluster/reconfig.h"
 #include "common/clock.h"
 
 namespace pandora {
@@ -75,6 +76,17 @@ std::string CrashSchedule::ToString() const {
     }
   }
   if (has_verb_kill) out << " vkill=" << VerbTokenToString(verb_kill);
+  if (reconfig != ReconfigKind::kNone) {
+    out << " reconfig="
+        << (reconfig == ReconfigKind::kJoin ? "join" : "drain");
+    if (reconfig_crash >= 0) {
+      out << " reconfig_crash="
+          << cluster::ReconfigCrashPointName(
+                 static_cast<cluster::ReconfigCrashPoint>(reconfig_crash));
+    }
+    if (reconfig_fence_off) out << " reconfig_fence=0";
+    if (reconfig_kill_target) out << " reconfig_kill_target=1";
+  }
   return out.str();
 }
 
@@ -135,6 +147,24 @@ bool CrashSchedule::Parse(const std::string& text, CrashSchedule* out) {
     } else if (key == "vkill") {
       if (!VerbTokenFromString(value, &parsed.verb_kill)) return false;
       parsed.has_verb_kill = true;
+    } else if (key == "reconfig") {
+      if (value == "join") {
+        parsed.reconfig = ReconfigKind::kJoin;
+      } else if (value == "drain") {
+        parsed.reconfig = ReconfigKind::kDrain;
+      } else {
+        return false;
+      }
+    } else if (key == "reconfig_crash") {
+      cluster::ReconfigCrashPoint point;
+      if (!cluster::ReconfigCrashPointFromName(value.c_str(), &point)) {
+        return false;
+      }
+      parsed.reconfig_crash = static_cast<int>(point);
+    } else if (key == "reconfig_fence") {
+      parsed.reconfig_fence_off = (value == "0");
+    } else if (key == "reconfig_kill_target") {
+      parsed.reconfig_kill_target = (value == "1");
     } else {
       return false;
     }

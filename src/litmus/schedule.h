@@ -91,6 +91,11 @@ struct VerbToken {
 std::string VerbTokenToString(const VerbToken& token);
 bool VerbTokenFromString(const std::string& text, VerbToken* out);
 
+/// Which online reconfiguration (if any) races the iteration's
+/// transactions: a live memory-node join of the standby, or a planned
+/// drain of a previously joined node.
+enum class ReconfigKind { kNone, kJoin, kDrain };
+
 /// A complete, replayable crash schedule for one litmus iteration.
 struct CrashSchedule {
   SyncMode sync = SyncMode::kFree;
@@ -116,13 +121,26 @@ struct CrashSchedule {
   /// verb_order to finish applying first.
   bool has_verb_kill = false;
   VerbToken verb_kill;
+  /// Online reconfiguration racing the transactions (kJoin / kDrain).
+  ReconfigKind reconfig = ReconfigKind::kNone;
+  /// Crash the migration driver at this ReconfigCrashPoint (index into
+  /// cluster::ReconfigCrashPoint, -1 = run the migration to completion).
+  int reconfig_crash = -1;
+  /// Teeth check: disable the placement-epoch fence on BOTH sides (the
+  /// migration cutover quiesce and the coordinators' TxnConfig), running
+  /// the deliberately naive cutover the checker must catch.
+  bool reconfig_fence_off = false;
+  /// Chain: kill the joining/draining memory node itself mid-migration
+  /// (bulk-copy window), forcing the rollback path.
+  bool reconfig_kill_target = false;
   /// Transient (never serialized): install a recording hook so the
   /// executed trace captures the applied mutating-verb stream.
   bool record_verbs = false;
 
   bool empty() const {
     return crashes.empty() && !rc_fault && kill_memory_node < 0 &&
-           verb_order.empty() && !has_verb_kill && !record_verbs;
+           verb_order.empty() && !has_verb_kill && !record_verbs &&
+           reconfig == ReconfigKind::kNone;
   }
 
   /// Serializes to a single-line replayable trace, e.g.

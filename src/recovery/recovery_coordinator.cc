@@ -31,9 +31,11 @@ RecoveryCoordinator::RecoveryCoordinator(cluster::Cluster* cluster)
     : cluster_(cluster) {
   // The RC runs on the service node; its QPs are set up on the control
   // path like any other connection.
+  // Standbys included: a live join can admit them to the ring at any
+  // time, and recovery must be able to read their logs and regions.
   const rdma::NodeId self = cluster->service_node_id();
-  qps_.resize(cluster->num_memory_nodes());
-  for (uint32_t m = 0; m < cluster->num_memory_nodes(); ++m) {
+  qps_.resize(cluster->total_memory_nodes());
+  for (uint32_t m = 0; m < cluster->total_memory_nodes(); ++m) {
     qps_[m] = cluster->fabric().CreateQueuePair(
         self, cluster->memory_node_id(m));
   }
@@ -247,7 +249,7 @@ Status RecoveryCoordinator::RecoverCoordinatorLogs(uint16_t coord_id,
   // profile, just over more servers.
   (void)mode;
   std::vector<rdma::NodeId> servers;
-  for (uint32_t m = 0; m < cluster_->num_memory_nodes(); ++m) {
+  for (uint32_t m = 0; m < cluster_->total_memory_nodes(); ++m) {
     servers.push_back(cluster_->memory_node_id(m));
   }
 
@@ -327,7 +329,7 @@ Status RecoveryCoordinator::ScanAndReleaseStrayLocks(
         1, (1u << 20) / slot_size);
     std::vector<char> chunk(slots_per_chunk * slot_size);
 
-    for (uint32_t m = 0; m < cluster_->num_memory_nodes(); ++m) {
+    for (uint32_t m = 0; m < cluster_->total_memory_nodes(); ++m) {
       const rdma::NodeId node = cluster_->memory_node_id(m);
       if (!cluster_->membership().IsMemoryAlive(node)) continue;
       for (uint64_t base = 0; base < layout.capacity();

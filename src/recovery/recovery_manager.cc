@@ -17,6 +17,15 @@ RecoveryManager::RecoveryManager(cluster::Cluster* cluster,
       [this](rdma::NodeId node, const std::vector<uint16_t>& ids) {
         OnFailureDetected(node, ids);
       });
+  if (gate_ != nullptr) {
+    // Arm the stop-the-world precondition of RebuildMemoryNode: with a
+    // system gate present, a rebuild is legal only while the gate is
+    // blocked and drained (as ReplaceMemoryNode arranges). Direct calls
+    // under traffic get refused instead of silently corrupting replicas.
+    txn::SystemGate* gate = gate_;
+    cluster_->set_quiesce_check(
+        [gate] { return gate->blocked() && gate->active_txns() == 0; });
+  }
 }
 
 RecoveryManager::~RecoveryManager() { Stop(); }
@@ -200,6 +209,23 @@ Status RecoveryManager::ReplaceMemoryNode(rdma::NodeId node) {
                        << " re-replicated and re-admitted";
   }
   return status;
+}
+
+cluster::ReconfigOptions RecoveryManager::MakeReconfigOptions() {
+  cluster::ReconfigOptions options;
+  if (gate_ == nullptr) return options;
+  options.quiesce_block = [this] {
+    gate_->BlockAndQuiesce();
+    // A compute recovery started before the gate closed may still be
+    // repairing state; let it finish so the delta pass copies the repaired
+    // images rather than racing the recovery coordinator's writes.
+    const uint64_t deadline = NowMicros() + 1'000'000;
+    while (pending_recoveries() > 0 && NowMicros() < deadline) {
+      SleepForMicros(100);
+    }
+  };
+  options.quiesce_unblock = [this] { gate_->Unblock(); };
+  return options;
 }
 
 Status RecoveryManager::RecycleIdsIfNeeded(double threshold) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/reconfig.h"
 #include "common/status.h"
 #include "recovery/failure_detector.h"
 #include "recovery/recovery_coordinator.h"
@@ -110,6 +111,12 @@ class RecoveryManager {
   /// primaries), and resumes. Restores the replication degree after a
   /// memory failure.
   Status ReplaceMemoryNode(rdma::NodeId node);
+
+  /// Reconfiguration options wired to this manager's system gate: the
+  /// cutover quiesce blocks new transactions, drains the in-flight ones,
+  /// and additionally waits out any compute recovery currently running
+  /// (recovery-during-reconfiguration re-plans instead of interleaving).
+  cluster::ReconfigOptions MakeReconfigOptions();
 
   /// §3.1.2 "Recycling coordinator-ids": when more than 95% of the id
   /// space is used, scan memory, release all stray locks of failed ids and

@@ -36,7 +36,7 @@ Coordinator::Coordinator(cluster::Cluster* cluster,
       log_writer_(cluster, server, coord_id) {
   // A transaction can touch at most every memory server; reserving here
   // keeps TouchedReplicaServers() allocation-free per commit.
-  touched_servers_.reserve(cluster->num_memory_nodes());
+  touched_servers_.reserve(cluster->total_memory_nodes());
 }
 
 Status Coordinator::MaybeCrash(CrashPoint point) {
@@ -85,6 +85,9 @@ Status Coordinator::FinalizeIfCrashed(Status status) {
 Status Coordinator::Begin() {
   if (in_txn_) return Status::InvalidArgument("transaction already open");
   if (server_->halted()) return Status::Unavailable("compute node halted");
+  // Backoff armed by a reconfig abort: sleep *before* registering with the
+  // gate, so a backing-off coordinator never delays a cutover quiesce.
+  ReconfigBackoff();
   // Memory-failure reconfiguration barrier (§3.2.5).
   while (cluster_->membership().reconfiguring()) {
     if (server_->halted()) return Status::Unavailable("compute node halted");
@@ -93,6 +96,7 @@ Status Coordinator::Begin() {
   if (gate_ != nullptr && !gate_->EnterTxn(server_->halted_flag())) {
     return Status::Unavailable("compute node halted");
   }
+  begin_ring_epoch_ = cluster_->ring().epoch();
   in_txn_ = true;
   txn_id_ = (static_cast<uint64_t>(coord_id_) << 32) | next_txn_seq_++;
   write_set_.clear();
@@ -110,6 +114,23 @@ void Coordinator::FinishTxn() {
   read_set_.clear();
   coord_log_slots_.clear();
   if (gate_ != nullptr) gate_->ExitTxn();
+}
+
+bool Coordinator::RingEpochChanged(bool refresh) {
+  const uint64_t current = cluster_->ring().epoch();
+  if (current == begin_ring_epoch_) return false;
+  if (refresh) begin_ring_epoch_ = current;
+  return true;
+}
+
+void Coordinator::ReconfigBackoff() {
+  if (reconfig_backoff_level_ == 0) return;
+  const uint32_t shift = std::min<uint32_t>(reconfig_backoff_level_ - 1, 10);
+  const uint64_t us = std::min<uint64_t>(
+      config_.reconfig_backoff_max_us,
+      config_.reconfig_backoff_base_us << shift);
+  stats_.reconfig_retries++;
+  SleepForMicros(us);
 }
 
 Coordinator::WriteOp* Coordinator::FindWriteOp(store::TableId table,
@@ -281,6 +302,23 @@ Status Coordinator::LockAndFetch(WriteOp* op, rdma::VerbBatch* rider) {
       NowMicros() + config_.stall_timeout_us;
 
   while (true) {
+    // Reconfiguration epoch fence: a ring cutover since Begin means this
+    // op's resolved placement may point into a moved range. With locks
+    // already held the transaction aborts cheaply (the abort path releases
+    // them wherever they were taken); before the first lock it simply
+    // re-resolves against the new ring and proceeds.
+    if (config_.reconfig_fence && RingEpochChanged(/*refresh=*/false)) {
+      bool any_locked = false;
+      for (const WriteOp& w : write_set_) any_locked |= w.locked;
+      if (any_locked) {
+        stats_.reconfig_aborts++;
+        if (reconfig_backoff_level_ < 16) reconfig_backoff_level_++;
+        return Status::Busy("placement epoch changed by reconfiguration");
+      }
+      stats_.reconfig_retries++;
+      RingEpochChanged(/*refresh=*/true);
+      PANDORA_RETURN_NOT_OK(ResolvePlacement(op));
+    }
     const cluster::TableInfo& info = cluster_->catalog().table(op->table);
     uint64_t observed = 0;
     bool fetched = false;
@@ -953,9 +991,11 @@ Status Coordinator::CheckValidation(
 
 Status Coordinator::Commit() {
   if (!in_txn_) return Status::InvalidArgument("no open transaction");
-  return FinalizeIfCrashed(server_->halted()
-                               ? Status::Unavailable("compute node halted")
-                               : CommitInternal());
+  const Status status = FinalizeIfCrashed(
+      server_->halted() ? Status::Unavailable("compute node halted")
+                        : CommitInternal());
+  if (status.ok()) reconfig_backoff_level_ = 0;
+  return status;
 }
 
 Status Coordinator::CommitInternal() {
@@ -1049,6 +1089,19 @@ Status Coordinator::CommitInternal() {
   }
   PANDORA_RETURN_NOT_OK(MaybeCrash(CrashPoint::kAfterValidation));
 
+  // Reconfiguration epoch fence at the validation point: the versions just
+  // checked (and the locks held) live on the *old* placement. If the ring
+  // was cut over since Begin, committing here could land updates on
+  // replicas a migrated range no longer reads — abort instead and let the
+  // retry run against the new placement.
+  if (config_.reconfig_fence && RingEpochChanged(/*refresh=*/false)) {
+    stats_.reconfig_aborts++;
+    if (reconfig_backoff_level_ < 16) reconfig_backoff_level_++;
+    Status abort_status = AbortInternal();
+    if (abort_status.IsUnavailable()) return abort_status;
+    return Status::Aborted("placement epoch changed at validation");
+  }
+
   // ---- Decision reached: commit. Apply to every live replica.
   PANDORA_RETURN_NOT_OK(ApplyWrites());
 
@@ -1085,6 +1138,18 @@ Status Coordinator::CommitMergedInternal() {
       if (abort_status.IsUnavailable()) return abort_status;
       return Status::Aborted(status.message());
     }
+  }
+
+  // Reconfiguration epoch fence at the validation point (see
+  // CommitInternal): covers read-only transactions too — their validated
+  // versions came from the pre-cutover primaries, which a post-cutover
+  // writer no longer updates.
+  if (config_.reconfig_fence && RingEpochChanged(/*refresh=*/false)) {
+    stats_.reconfig_aborts++;
+    if (reconfig_backoff_level_ < 16) reconfig_backoff_level_++;
+    Status abort_status = AbortInternal();
+    if (abort_status.IsUnavailable()) return abort_status;
+    return Status::Aborted("placement epoch changed at validation");
   }
 
   if (write_set_.empty()) {

@@ -308,6 +308,14 @@ class Coordinator {
     }
   };
 
+  // Reconfiguration epoch fence (TxnConfig::reconfig_fence): true when
+  // the active ring changed since Begin's snapshot. `refresh` re-arms the
+  // snapshot so a pre-lock retry can continue against the new placement.
+  bool RingEpochChanged(bool refresh);
+  // Sleeps the bounded-exponential backoff armed by a prior reconfig
+  // abort (no-op at level 0).
+  void ReconfigBackoff();
+
   WriteOp* FindWriteOp(store::TableId table, store::Key key);
   // Appends `op` to the write-set and indexes it; returns the staged op.
   WriteOp* AppendWriteOp(WriteOp op);
@@ -353,6 +361,12 @@ class Coordinator {
   std::vector<rdma::NodeId> touched_servers_;
   // Reusable cursor/buffer scratch for batched range probes.
   store::BatchedProbeScratch probe_scratch_;
+
+  // Reconfiguration fence state: the ring epoch snapshot taken at Begin
+  // and the exponential-backoff level armed by reconfig aborts (reset by
+  // the next successful commit).
+  uint64_t begin_ring_epoch_ = 0;
+  uint32_t reconfig_backoff_level_ = 0;
 
   TxnStats stats_;
 };

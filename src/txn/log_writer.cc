@@ -12,7 +12,10 @@ LogWriter::LogWriter(cluster::Cluster* cluster,
       server_(server),
       coord_id_(coord_id),
       log_servers_(LogServersFor(*cluster, coord_id)),
-      next_slot_(cluster->num_memory_nodes(), 0),
+      // Sized to include standbys: after a live join the placement ring
+      // can designate one as a log server, and next_slot_ is indexed by
+      // node id.
+      next_slot_(cluster->total_memory_nodes(), 0),
       invalid_marker_(store::InvalidRecordMarker()) {
   PANDORA_CHECK(coord_id_ <
                 cluster->catalog().log_layout().config().max_coordinators);

@@ -97,6 +97,20 @@ struct TxnConfig {
   /// implicitly. Off = every lookup walks the ring (the ablation knob).
   bool placement_cache = true;
 
+  /// Placement-epoch fence for online reconfiguration: snapshot the ring
+  /// epoch at Begin and re-check it before every lock acquisition and at
+  /// validation time. A transaction that raced a ring cutover aborts
+  /// cheaply (TxnStats::reconfig_aborts) instead of committing against a
+  /// superseded placement, then retries under bounded exponential backoff.
+  /// Off = the deliberately naive mode the crash-during-migration litmus
+  /// spec exists to catch.
+  bool reconfig_fence = true;
+  /// Backoff base/cap for retries after a reconfiguration abort. The next
+  /// Begin sleeps min(max, base << level) microseconds; a successful
+  /// commit resets the level.
+  uint64_t reconfig_backoff_base_us = 20;
+  uint64_t reconfig_backoff_max_us = 2000;
+
   /// PILL is a Pandora feature; the baselines cannot steal.
   bool pill_enabled() const { return mode == ProtocolMode::kPandora; }
 };
@@ -150,6 +164,14 @@ struct TxnStats {
   /// index collision, or epoch invalidation after a failover/rebuild).
   /// Zero when TxnConfig::placement_cache is off.
   uint64_t placement_misses = 0;
+  /// Transactions aborted by the reconfiguration epoch fence: the ring
+  /// was swapped (live join/drain/replication change) after this
+  /// transaction took locks or validated against the old placement.
+  uint64_t reconfig_aborts = 0;
+  /// Cheap pre-lock retries against a fresh placement: the fence caught
+  /// the epoch change before any lock was taken (plus the backoff sleeps
+  /// armed by a prior reconfig abort).
+  uint64_t reconfig_retries = 0;
 };
 
 }  // namespace txn

@@ -20,8 +20,18 @@ Driver::Driver(cluster::Cluster* cluster,
 
 txn::Coordinator* Driver::SpawnCoordinator(uint32_t compute_index) {
   std::vector<uint16_t> ids;
-  const Status status = manager_->RegisterComputeNode(
+  Status status = manager_->RegisterComputeNode(
       cluster_->compute(compute_index), 1, &ids);
+  // Fresh-id exhaustion is transient while a recycling scan is still
+  // reclaiming a fenced node's ids (§3.1.2) — a respawn can race ahead of
+  // the scan that frees its predecessors. Wait for recycled ids instead of
+  // aborting the run.
+  const uint64_t deadline = NowMicros() + 2'000'000;
+  while (status.IsResourceExhausted() && NowMicros() < deadline) {
+    SleepForMicros(500);
+    status = manager_->RegisterComputeNode(cluster_->compute(compute_index),
+                                           1, &ids);
+  }
   PANDORA_CHECK(status.ok());
   std::lock_guard<std::mutex> lock(coords_mu_);
   coords_.push_back(std::make_unique<txn::Coordinator>(
@@ -255,6 +265,11 @@ void Driver::FaultLoop(uint64_t start_ns) {
         manager_->RecoverMemoryFailure(node);
         break;
       }
+      case FaultEvent::Kind::kReconfig: {
+        PANDORA_LOG(kInfo) << "driver: running scheduled reconfiguration";
+        if (event.action) event.action();
+        break;
+      }
     }
   }
 }
@@ -358,6 +373,8 @@ DriverResult Driver::Run() {
       result.totals.bug_injections += stats.bug_injections;
       result.totals.placement_hits += stats.placement_hits;
       result.totals.placement_misses += stats.placement_misses;
+      result.totals.reconfig_aborts += stats.reconfig_aborts;
+      result.totals.reconfig_retries += stats.reconfig_retries;
     }
   }
   result.totals.fiber_yields = result.fiber_yields;

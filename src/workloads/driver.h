@@ -2,6 +2,7 @@
 #define PANDORA_WORKLOADS_DRIVER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -66,10 +67,15 @@ struct FaultEvent {
     kComputeCrash,    // crash compute node (by compute index)
     kComputeRestart,  // restart it and respawn its coordinators
     kMemoryCrash,     // crash memory node (by memory index)
+    kReconfig,        // run `action` (live join / drain) under traffic
   };
   Kind kind = Kind::kComputeCrash;
   uint64_t at_ms = 0;
   uint32_t node_index = 0;
+  /// kReconfig only: the reconfiguration step to run at `at_ms`, invoked
+  /// from the fault thread while the workload keeps going (blocking there,
+  /// so a long migration delays later faults, not the workload).
+  std::function<void()> action = nullptr;
 };
 
 struct DriverResult {

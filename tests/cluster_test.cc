@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <new>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/reconfig.h"
 #include "common/coding.h"
 #include "common/fixed_bitset.h"
 #include "store/object_header.h"
@@ -221,6 +224,15 @@ TEST(ClusterTest, MembershipReconfigurationBarrier) {
   EXPECT_TRUE(membership.reconfiguring());
   membership.EndReconfiguration();
   EXPECT_FALSE(membership.reconfiguring());
+  // The barrier nests: a recovery finishing inside an online migration's
+  // window must not release the migration's stall.
+  membership.BeginReconfiguration();
+  membership.BeginReconfiguration();
+  EXPECT_TRUE(membership.reconfiguring());
+  membership.EndReconfiguration();
+  EXPECT_TRUE(membership.reconfiguring());
+  membership.EndReconfiguration();
+  EXPECT_FALSE(membership.reconfiguring());
 }
 
 // Replication sweep: loading under different (memory_nodes, replication)
@@ -423,6 +435,201 @@ TEST(ClusterTest, PlacementFastPathIsAllocationFree) {
   EXPECT_EQ(after - before, 0u)
       << "hot placement path allocated " << (after - before) << " times";
   EXPECT_GT(checksum, 0u);  // Keep the loop observable.
+}
+
+// --------------------------------------------- Online reconfiguration ---
+
+// Rebuild rewrites a server's regions from the current primaries with no
+// coordination against in-flight transactions, so when a quiesce probe is
+// installed it must refuse to run while traffic is live.
+TEST(ClusterTest, RebuildMemoryNodeRequiresQuiesce) {
+  Cluster cluster(TestConfig());
+  const store::TableId t = cluster.CreateTable("t", 8, 64);
+  const char v[8] = "x";
+  for (store::Key k = 0; k < 16; ++k) {
+    ASSERT_TRUE(cluster.LoadRow(t, k, Slice(v, 8)).ok());
+  }
+  cluster.CrashMemoryNode(0);
+
+  bool quiesced = false;
+  cluster.set_quiesce_check([&quiesced] { return quiesced; });
+  const Status busy = cluster.RebuildMemoryNode(0);
+  EXPECT_TRUE(busy.IsBusy()) << busy.ToString();
+  // The refused rebuild must not have re-admitted the node.
+  EXPECT_FALSE(cluster.membership().IsMemoryAlive(0));
+
+  quiesced = true;
+  ASSERT_TRUE(cluster.RebuildMemoryNode(0).ok());
+  EXPECT_TRUE(cluster.membership().IsMemoryAlive(0));
+}
+
+ClusterConfig StandbyConfig() {
+  ClusterConfig config = TestConfig();
+  config.standby_memory_nodes = 1;
+  return config;
+}
+
+// The placement epoch is the coordinators' only staleness signal, so every
+// transition of the reconfiguration lifecycle — live join, crash, rebuild,
+// planned drain — must advance it strictly.
+TEST(ClusterTest, PlacementEpochMonotonicAcrossJoinCrashRebuildDrain) {
+  Cluster cluster(StandbyConfig());
+  const store::TableId t = cluster.CreateTable("t", 8, 128);
+  char v[8] = {0};
+  for (store::Key k = 0; k < 128; ++k) {
+    EncodeFixed64(v, 1000 + k);
+    ASSERT_TRUE(cluster.LoadRow(t, k, Slice(v, 8)).ok());
+  }
+  const rdma::NodeId standby = cluster.memory_node_id(3);
+  ReconfigManager migrator(&cluster);
+
+  const uint64_t e0 = cluster.placement_epoch();
+  ASSERT_TRUE(migrator.JoinMemoryNode(standby).ok());
+  const uint64_t e1 = cluster.placement_epoch();
+  EXPECT_GT(e1, e0) << "join must invalidate placement caches";
+  const auto& joined = cluster.ring().nodes();
+  EXPECT_NE(std::find(joined.begin(), joined.end(), standby), joined.end());
+
+  cluster.CrashMemoryNode(0);
+  const uint64_t e2 = cluster.placement_epoch();
+  EXPECT_GT(e2, e1) << "crash must invalidate placement caches";
+
+  ASSERT_TRUE(cluster.RebuildMemoryNode(0).ok());
+  const uint64_t e3 = cluster.placement_epoch();
+  EXPECT_GT(e3, e2) << "re-admission must invalidate placement caches";
+
+  ASSERT_TRUE(migrator.DrainMemoryNode(standby).ok());
+  const uint64_t e4 = cluster.placement_epoch();
+  EXPECT_GT(e4, e3) << "drain must invalidate placement caches";
+  const auto& drained = cluster.ring().nodes();
+  EXPECT_EQ(std::find(drained.begin(), drained.end(), standby),
+            drained.end());
+
+  // After the full cycle every row is readable at its current primary with
+  // the loaded value — nothing was lost across the four transitions.
+  const auto& info = cluster.catalog().table(t);
+  for (store::Key k = 0; k < 128; ++k) {
+    const rdma::NodeId primary = cluster.PrimaryFor(t, k);
+    ASSERT_NE(primary, rdma::kInvalidNodeId) << "key " << k;
+    ASSERT_NE(primary, standby) << "key " << k;
+    rdma::QueuePair* qp = cluster.compute(0)->qp(primary);
+    store::SlotState state;
+    ASSERT_TRUE(store::FindSlotByProbe(qp, info.region_rkeys[primary],
+                                       info.layout, k, &state)
+                    .ok())
+        << "key " << k;
+    alignas(8) char read_back[8] = {0};
+    ASSERT_TRUE(qp->Read(info.region_rkeys[primary],
+                         info.layout.ValueOffset(state.slot), read_back, 8)
+                    .ok());
+    EXPECT_EQ(DecodeFixed64(read_back), 1000 + k) << "key " << k;
+  }
+
+  const ReconfigStats stats = migrator.stats();
+  EXPECT_EQ(stats.joins, 1u);
+  EXPECT_EQ(stats.drains, 1u);
+  EXPECT_GT(stats.objects_copied, 0u);
+}
+
+// A cache entry inserted before a reconfiguration must never satisfy a
+// lookup made at the post-reconfiguration epoch: the epoch key is the only
+// thing standing between a coordinator and a retired replica set.
+TEST(PlacementCacheTest, NeverServesPreReconfigurationReplicas) {
+  Cluster cluster(StandbyConfig());
+  const store::TableId t = cluster.CreateTable("t", 8, 128);
+  const char v[8] = "x";
+  for (store::Key k = 0; k < 128; ++k) {
+    ASSERT_TRUE(cluster.LoadRow(t, k, Slice(v, 8)).ok());
+  }
+  PlacementCache cache;
+  const uint64_t e0 = cluster.placement_epoch();
+  std::vector<uint64_t> hashes;
+  for (store::Key k = 0; k < 128; ++k) {
+    const uint64_t hash = HashRing::PlacementHash(t, k);
+    cache.Insert(hash, e0, cluster.ring().ReplicaSetForHash(hash));
+    hashes.push_back(hash);
+  }
+
+  ReconfigManager migrator(&cluster);
+  ASSERT_TRUE(migrator.JoinMemoryNode(cluster.memory_node_id(3)).ok());
+  const uint64_t e1 = cluster.placement_epoch();
+  ASSERT_GT(e1, e0);
+
+  int moved = 0;
+  for (const uint64_t hash : hashes) {
+    // The pre-join entry is dead at the new epoch — a fresh lookup must
+    // miss and force a ring walk, never return the retired set.
+    EXPECT_EQ(cache.Lookup(hash, e1), nullptr);
+    const ReplicaSet now = cluster.ring().ReplicaSetForHash(hash);
+    const ReplicaSet* old_entry = cache.Lookup(hash, e0);
+    if (old_entry != nullptr && !(*old_entry == now)) ++moved;
+    cache.Insert(hash, e1, now);
+    const ReplicaSet* hit = cache.Lookup(hash, e1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, now);
+  }
+  // The join actually changed placement for some keys, so serving the old
+  // sets would have been a real misdirection, not a no-op.
+  EXPECT_GT(moved, 0);
+}
+
+// Same invariant under concurrency: readers that snapshot the epoch, look
+// up, and double-check the epoch must never observe a replica set that
+// disagrees with the ring published for that epoch, even while a join and
+// a drain swap rings underneath them.
+TEST(PlacementCacheTest, ConcurrentLookupsNeverSeeStaleReplicaSets) {
+  Cluster cluster(StandbyConfig());
+  const store::TableId t = cluster.CreateTable("t", 8, 128);
+  const char v[8] = "x";
+  for (store::Key k = 0; k < 128; ++k) {
+    ASSERT_TRUE(cluster.LoadRow(t, k, Slice(v, 8)).ok());
+  }
+  PlacementCache cache;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> mismatches{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (store::Key k = 0; k < 128; ++k) {
+          const uint64_t hash = HashRing::PlacementHash(t, k);
+          const uint64_t epoch = cluster.placement_epoch();
+          const ReplicaSet* cached = cache.Lookup(hash, epoch);
+          const ReplicaSet from_ring = cluster.ring().ReplicaSetForHash(hash);
+          // If the epoch did not move across the whole window, `from_ring`
+          // came from the epoch's ring, so an epoch-matched hit must agree
+          // with it. (If it did move, the comparison is not well-defined
+          // and the iteration is discarded.)
+          if (cluster.placement_epoch() != epoch) continue;
+          if (cached != nullptr) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            if (!(*cached == from_ring)) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            cache.Insert(hash, epoch, from_ring);
+          }
+        }
+      }
+    });
+  }
+
+  ReconfigManager migrator(&cluster);
+  const rdma::NodeId standby = cluster.memory_node_id(3);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(migrator.JoinMemoryNode(standby).ok());
+    ASSERT_TRUE(migrator.DrainMemoryNode(standby).ok());
+  }
+  // Let the readers run against the settled ring so the final epoch's
+  // entries are exercised too.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : readers) thread.join();
+
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 }  // namespace

@@ -696,6 +696,219 @@ TEST(LitmusScheduleTest, FlagsHarnessErrorWhenBugNeverExercised) {
   EXPECT_FALSE(report.passed());
 }
 
+// ----------------------------------------------- Online reconfiguration --
+//
+// LitmusReconfig races four read-modify-write counters against a live
+// memory-node join/drain. With the epoch fence on, a correct cutover must
+// never lose a committed increment no matter where the migration driver
+// crashes. With the fence deliberately disabled, the naive cutover loses
+// updates — objects locked during the bulk copy are deferred and never
+// delta-copied, and post-cutover commits keep landing on the old primaries
+// — and the checker must turn that into a violation.
+
+TEST(LitmusScheduleTest, ReconfigTraceRoundTrips) {
+  CrashSchedule schedule;
+  schedule.sync = SyncMode::kLockstep;
+  schedule.reconfig = ReconfigKind::kJoin;
+  schedule.reconfig_crash =
+      static_cast<int>(cluster::ReconfigCrashPoint::kMidRangeCopy);
+  schedule.reconfig_kill_target = true;
+  EXPECT_FALSE(schedule.empty());
+
+  const std::string text = schedule.ToString();
+  EXPECT_NE(text.find("reconfig=join"), std::string::npos) << text;
+  EXPECT_NE(text.find("reconfig_crash=MidRangeCopy"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("reconfig_kill_target=1"), std::string::npos) << text;
+  CrashSchedule parsed;
+  ASSERT_TRUE(CrashSchedule::Parse(text, &parsed)) << text;
+  EXPECT_EQ(parsed.ToString(), text);
+  EXPECT_EQ(parsed.reconfig, ReconfigKind::kJoin);
+  EXPECT_EQ(parsed.reconfig_crash,
+            static_cast<int>(cluster::ReconfigCrashPoint::kMidRangeCopy));
+  EXPECT_FALSE(parsed.reconfig_fence_off);
+  EXPECT_TRUE(parsed.reconfig_kill_target);
+
+  // The naive-cutover drain variant.
+  CrashSchedule naive;
+  naive.sync = SyncMode::kLockstep;
+  naive.runs = 4;
+  naive.reconfig = ReconfigKind::kDrain;
+  naive.reconfig_fence_off = true;
+  const std::string naive_text = naive.ToString();
+  EXPECT_NE(naive_text.find("reconfig=drain"), std::string::npos)
+      << naive_text;
+  EXPECT_NE(naive_text.find("reconfig_fence=0"), std::string::npos)
+      << naive_text;
+  CrashSchedule naive_parsed;
+  ASSERT_TRUE(CrashSchedule::Parse(naive_text, &naive_parsed)) << naive_text;
+  EXPECT_EQ(naive_parsed.ToString(), naive_text);
+  EXPECT_EQ(naive_parsed.reconfig, ReconfigKind::kDrain);
+  EXPECT_TRUE(naive_parsed.reconfig_fence_off);
+  EXPECT_EQ(naive_parsed.reconfig_crash, -1);
+  EXPECT_EQ(naive_parsed.runs, 4);
+
+  CrashSchedule bad;
+  EXPECT_FALSE(CrashSchedule::Parse("reconfig=sideways", &bad));
+  EXPECT_FALSE(CrashSchedule::Parse("reconfig_crash=NoSuchPoint", &bad));
+}
+
+// Exhaustive exploration under a live join must stay serializable AND
+// cover every migration crash point: the enumeration prepends one schedule
+// per ReconfigCrashPoint (plus a join-target kill), so every rollback /
+// roll-forward decision of the migration driver is exercised.
+TEST(LitmusReconfigTest, JoinCoversEveryMigrationCrashPoint) {
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kPandora;
+  config.txn.sequential_verbs = SequentialVerbsFromEnv();
+  config.schedule = SchedulePolicy::kExhaustive;
+  config.reconfig = ReconfigKind::kJoin;
+  config.iterations = 64;
+  config.runs_per_txn = 1;
+  LitmusHarness harness(config);
+  const LitmusReport report = harness.Run(LitmusReconfig());
+  if (report.violations > 0) {
+    DumpReproducerTraces(report, "reconfig-join");
+  }
+  EXPECT_EQ(report.violations, 0)
+      << (report.failures.empty() ? "" : report.failures[0]);
+  EXPECT_GT(report.committed, 0);
+  EXPECT_GT(report.reconfigs_run, 0);
+  EXPECT_GT(report.reconfig_crashes_injected, 0);
+  EXPECT_GT(report.reconfig_rollbacks, 0)
+      << "pre-cutover crashes must roll the migration back";
+  EXPECT_GT(report.reconfig_kills_injected, 0)
+      << "the join-target kill schedule never fired";
+  for (int p = 0; p < static_cast<int>(cluster::kNumReconfigCrashPoints); ++p) {
+    const auto point = static_cast<cluster::ReconfigCrashPoint>(p);
+    EXPECT_GT(report.reconfig_point_visits[p], 0)
+        << "migration crash point never visited: "
+        << cluster::ReconfigCrashPointName(point) << "\n"
+        << report.CoverageSummary();
+    EXPECT_GT(report.reconfig_point_crashes[p], 0)
+        << "migration crash point never crashed: "
+        << cluster::ReconfigCrashPointName(point) << "\n"
+        << report.CoverageSummary();
+  }
+}
+
+// The planned drain (join quietly, then drain under traffic) gets the same
+// treatment: serializable at every migration crash point.
+TEST(LitmusReconfigTest, DrainCoversEveryMigrationCrashPoint) {
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kPandora;
+  config.txn.sequential_verbs = SequentialVerbsFromEnv();
+  config.schedule = SchedulePolicy::kExhaustive;
+  config.reconfig = ReconfigKind::kDrain;
+  config.iterations = 64;
+  config.runs_per_txn = 1;
+  LitmusHarness harness(config);
+  const LitmusReport report = harness.Run(LitmusReconfig());
+  if (report.violations > 0) {
+    DumpReproducerTraces(report, "reconfig-drain");
+  }
+  EXPECT_EQ(report.violations, 0)
+      << (report.failures.empty() ? "" : report.failures[0]);
+  EXPECT_GT(report.committed, 0);
+  EXPECT_GT(report.reconfigs_run, 0);
+  EXPECT_GT(report.reconfig_rollbacks, 0)
+      << "pre-cutover crashes must roll the drain back";
+  for (int p = 0; p < static_cast<int>(cluster::kNumReconfigCrashPoints); ++p) {
+    const auto point = static_cast<cluster::ReconfigCrashPoint>(p);
+    EXPECT_GT(report.reconfig_point_visits[p], 0)
+        << "migration crash point never visited: "
+        << cluster::ReconfigCrashPointName(point) << "\n"
+        << report.CoverageSummary();
+    EXPECT_GT(report.reconfig_point_crashes[p], 0)
+        << "migration crash point never crashed: "
+        << cluster::ReconfigCrashPointName(point) << "\n"
+        << report.CoverageSummary();
+  }
+}
+
+// Teeth test: the deliberately naive cutover (epoch fence off, no quiesce,
+// no delta pass) must be CAUGHT by the litmus checker, and the catch must
+// re-prove from its recorded trace. The loss is a wall-clock race between
+// the bulk copy and the lockstep transactions, so both the hunt and the
+// replay get a bounded number of attempts.
+TEST(LitmusReconfigTest, NaiveCutoverIsCaught) {
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kPandora;
+  config.txn.sequential_verbs = SequentialVerbsFromEnv();
+  config.schedule = SchedulePolicy::kReplay;
+  config.replay.sync = SyncMode::kLockstep;
+  config.replay.runs = 4;
+  config.replay.reconfig = ReconfigKind::kJoin;
+  config.replay.reconfig_fence_off = true;
+
+  LitmusReport caught;
+  bool found = false;
+  for (int attempt = 0; attempt < 20 && !found; ++attempt) {
+    config.seed = 7000 + attempt;
+    LitmusHarness harness(config);
+    const LitmusReport report = harness.Run(LitmusReconfig());
+    ASSERT_TRUE(report.harness_error.empty()) << report.harness_error;
+    if (report.violations > 0) {
+      caught = report;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found)
+      << "the naive (fence-off) cutover was never caught: the litmus spec "
+         "has no teeth";
+  DumpReproducerTraces(caught, "reconfig-naive-cutover");
+  ASSERT_FALSE(caught.violation_traces.empty());
+  const std::string trace = caught.violation_traces[0];
+  EXPECT_NE(trace.find("reconfig=join"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("reconfig_fence=0"), std::string::npos) << trace;
+
+  // Re-prove from the recorded trace alone.
+  CrashSchedule parsed;
+  ASSERT_TRUE(CrashSchedule::Parse(trace, &parsed)) << trace;
+  EXPECT_EQ(parsed.ToString(), trace);
+  HarnessConfig replay_config = config;
+  replay_config.replay = parsed;
+  bool reproduced = false;
+  for (int attempt = 0; attempt < 20 && !reproduced; ++attempt) {
+    replay_config.seed = 7100 + attempt;
+    LitmusHarness replayer(replay_config);
+    reproduced = replayer.Run(LitmusReconfig()).violations > 0;
+  }
+  EXPECT_TRUE(reproduced) << "trace did not replay: " << trace;
+}
+
+// Coordinator crash *pairs* — two slots dying at different points of the
+// same iteration, bounded to the contested (lock-holding) window — must
+// all recover to a serializable state, and the enumeration must actually
+// add pair schedules on top of the singles.
+TEST(LitmusScheduleTest, CoordinatorCrashPairsStaySerializable) {
+  HarnessConfig config = FastConfig();
+  config.txn.mode = txn::ProtocolMode::kPandora;
+  config.txn.sequential_verbs = SequentialVerbsFromEnv();
+  config.schedule = SchedulePolicy::kExhaustive;
+  config.iterations = 260;
+  config.runs_per_txn = 1;
+
+  LitmusHarness single(config);
+  const LitmusReport singles = single.Run(Litmus2());
+  EXPECT_EQ(singles.violations, 0)
+      << (singles.failures.empty() ? "" : singles.failures[0]);
+
+  config.crash_pairs = true;
+  LitmusHarness paired(config);
+  const LitmusReport pairs = paired.Run(Litmus2());
+  if (pairs.violations > 0) {
+    DumpReproducerTraces(pairs, "crash-pairs");
+  }
+  EXPECT_EQ(pairs.violations, 0)
+      << (pairs.failures.empty() ? "" : pairs.failures[0]);
+  EXPECT_EQ(pairs.schedules_skipped, 0)
+      << "budget too small to execute every contested crash pair";
+  EXPECT_GT(pairs.schedules_planned, singles.schedules_planned)
+      << "crash_pairs added no schedules";
+  EXPECT_GT(pairs.crashes_injected, singles.crashes_injected);
+}
+
 }  // namespace
 }  // namespace litmus
 }  // namespace pandora
